@@ -1,0 +1,110 @@
+"""Design-choice ablations beyond the paper's own figures.
+
+* retry budget sweep (paper Section 8.1 fixes it at 5);
+* QISMET overhead accounting (Section 8.3's ">= 2x circuits" claim);
+* trust-region SPSA interaction (step bounding vs transient kicks).
+"""
+
+import numpy as np
+from conftest import print_table, run_once
+
+from repro.experiments.config import default_iterations
+from repro.experiments.registry import get_app
+from repro.experiments.runner import run_comparison
+
+
+def retry_budget_sweep(seed=43):
+    iterations = default_iterations(800, 200)
+    app = get_app("App5")
+    rows = {}
+    for budget in (0, 1, 5, 10):
+        comp = run_comparison(
+            app, ["baseline", "qismet"], iterations=iterations, seed=seed,
+            retry_budget=budget,
+        )
+        rows[budget] = comp.improvements()["qismet"]
+    return rows
+
+
+def test_ablation_retry_budget(benchmark):
+    rows = run_once(benchmark, retry_budget_sweep)
+    print_table(
+        "Ablation: QISMET retry budget (expectation rel. baseline)",
+        [(f"budget={k}", v) for k, v in sorted(rows.items())],
+    )
+    # budget 0 degenerates toward the baseline (every rejection is forced
+    # through); some budget should not be dramatically worse than none.
+    assert all(v > 0.5 for v in rows.values())
+
+
+def overhead_accounting(seed=44):
+    iterations = default_iterations(600, 200)
+    app = get_app("App2")
+    comp = run_comparison(app, ["baseline", "qismet"], iterations=iterations, seed=seed)
+    base, qis = comp.results["baseline"], comp.results["qismet"]
+    return {
+        "baseline_circuits_per_job": base.total_circuits / base.total_jobs,
+        "qismet_circuits_per_job": qis.total_circuits / qis.total_jobs,
+        "qismet_job_overhead": qis.total_jobs / base.total_jobs,
+        "qismet_skip_fraction": qis.total_retries / qis.total_jobs,
+    }
+
+
+def test_ablation_overhead(benchmark):
+    stats = run_once(benchmark, overhead_accounting)
+    print_table(
+        "Ablation: QISMET overheads (paper Sec 8.3: >= 2x circuits)",
+        sorted(stats.items()),
+    )
+    # Every QISMET execution instance reruns the reference: ~2x circuits.
+    assert stats["qismet_circuits_per_job"] > 1.9
+    assert stats["baseline_circuits_per_job"] < 1.1
+    # Skips bounded by the 10% budget (plus retry multiplicity).
+    assert stats["qismet_job_overhead"] < 1.6
+
+
+def trust_region_interaction(seed=45):
+    iterations = default_iterations(600, 200)
+    app = get_app("App5")
+    rows = {}
+    for label, radius in (("unbounded", None), ("trust=0.1", 0.1)):
+        comp = run_comparison(
+            app, ["noise-free", "baseline"], iterations=iterations, seed=seed,
+        )
+        # rebuild with trust region by adjusting the optimizer directly
+        from repro.experiments.metrics import tail_energy
+        if radius is None:
+            rows[label] = tail_energy(comp.results["baseline"])
+        else:
+            from repro.experiments.schemes import build_vqe
+            from repro.noise.noise_model import NoiseModel
+            from repro.vqa.objective import EnergyObjective
+            from repro.utils.rng import derive_seed
+
+            objective = EnergyObjective(app.build_ansatz(), app.build_hamiltonian())
+            trace = app.build_trace(length=5 * iterations + 64, seed=seed)
+            vqe = build_vqe(
+                "baseline", objective, trace,
+                noise_model=NoiseModel.from_device(app.build_device()),
+                seed=derive_seed(seed, f"run:{app.name}"),
+                iterations_hint=iterations,
+            )
+            vqe.optimizer.trust_radius = radius
+            result = vqe.run(
+                iterations,
+                theta0=app.build_ansatz().initial_point(
+                    seed=derive_seed(seed, f"theta0:{app.name}")
+                ),
+            )
+            rows[label] = tail_energy(result)
+    return rows
+
+
+def test_ablation_trust_region(benchmark):
+    rows = run_once(benchmark, trust_region_interaction)
+    print_table(
+        "Ablation: SPSA trust region under transients (final true energy)",
+        sorted(rows.items()),
+    )
+    # Step bounding mitigates transient kicks: bounded is at least as good.
+    assert rows["trust=0.1"] <= rows["unbounded"] + 0.5

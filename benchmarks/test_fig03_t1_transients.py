@@ -1,0 +1,23 @@
+"""Fig. 3: transient fluctuations in T1 times over 65 hours."""
+
+from conftest import print_table, run_once
+
+from repro.experiments.figures import fig3_t1_transients
+
+
+def test_fig3_t1_transients(benchmark):
+    data = run_once(benchmark, fig3_t1_transients, hours=65.0, seed=9)
+    print_table(
+        "Fig. 3: T1 fluctuations over 65 h",
+        [
+            ("baseline T1 (us)", data["baseline_us"]),
+            ("mean T1 (us)", data["mean_t1_us"]),
+            ("min T1 (us)", data["min_t1_us"]),
+            ("outliers (<50% baseline)", data["outliers_below_half_baseline"]),
+            ("samples", len(data["t1_us"])),
+        ],
+    )
+    # Shape: stable baseline with rare deep dips (the circled transients).
+    assert data["mean_t1_us"] > 0.7 * data["baseline_us"]
+    assert data["min_t1_us"] < 0.5 * data["baseline_us"]
+    assert data["outliers_below_half_baseline"] >= 1

@@ -1,0 +1,25 @@
+"""Fig. 4: circuit fidelity variation over 45 hours (shallow vs deep)."""
+
+from conftest import print_table, run_once
+
+from repro.experiments.figures import fig4_circuit_fidelity
+
+
+def test_fig4_circuit_fidelity(benchmark):
+    data = run_once(benchmark, fig4_circuit_fidelity, hours=45, seed=10)
+    shallow, deep = data["shallow"], data["deep"]
+    print_table(
+        "Fig. 4: hourly-batch circuit fidelity (paper: ~83%/5% vs ~25%/35%)",
+        [
+            ("shallow (4q/6CX) mean", shallow["mean_fidelity"]),
+            ("shallow variation", shallow["variation"]),
+            ("deep (8q/50CX) mean", deep["mean_fidelity"]),
+            ("deep variation", deep["variation"]),
+        ],
+    )
+    # Shape: deep circuits have far lower fidelity and far larger relative
+    # variation under the same T1 transients.
+    assert shallow["mean_fidelity"] > 0.7
+    assert deep["mean_fidelity"] < 0.4
+    assert shallow["variation"] < 0.15
+    assert deep["variation"] > 2 * shallow["variation"]

@@ -1,0 +1,25 @@
+"""Fig. 5: extreme transient impact on a long baseline VQA run."""
+
+import numpy as np
+from conftest import print_table, run_once
+
+from repro.experiments.figures import fig5_vqa_transient_impact
+
+
+def test_fig5_vqa_transient_impact(benchmark):
+    data = run_once(benchmark, fig5_vqa_transient_impact, seed=23)
+    energies = data["machine_energies"]
+    print_table(
+        "Fig. 5: baseline VQA under severe transients",
+        [
+            ("iterations", len(energies)),
+            ("expectation at 20% of run", data["energy_at_20pct"]),
+            ("expectation at end", data["energy_final"]),
+            ("upward spikes detected", data["num_upward_spikes"]),
+        ],
+    )
+    # Shape: sharp upward spikes exist and late-run benefit is limited
+    # (paper: 100th -> 500th iteration benefit effectively nil).
+    assert data["num_upward_spikes"] >= 1
+    swing = np.max(energies) - np.min(energies)
+    assert swing > 1.0

@@ -1,0 +1,23 @@
+"""Fig. 10: sweeping the transient-noise magnitude from 0 to 50 %."""
+
+import numpy as np
+from conftest import print_table, run_once
+
+from repro.experiments.figures import fig10_transient_sweep
+
+
+def test_fig10_transient_sweep(benchmark):
+    data = run_once(benchmark, fig10_transient_sweep, seed=5)
+    rows = [
+        (f"{100 * fraction:.1f}% transient", energy)
+        for fraction, energy in zip(data["fractions"], data["final_energies"])
+    ]
+    print_table("Fig. 10: VQA accuracy vs transient magnitude", rows)
+    finals = np.array(data["final_energies"])
+    # Shape: the no-transient run is (near-)best; the 50% run is clearly
+    # worst; the overall trend degrades with magnitude.
+    assert finals[0] <= finals[-1] - 0.2
+    # Spearman-style check: large fractions correlate with higher energy.
+    order = np.argsort(finals)
+    assert order[0] in (0, 1, 2)
+    assert order[-1] in (len(finals) - 1, len(finals) - 2)

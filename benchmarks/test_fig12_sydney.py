@@ -1,0 +1,23 @@
+"""Fig. 12: QISMET vs baseline on (fake) IBMQ Sydney, ~350 iterations.
+
+Sydney's profile is smooth tuning with rare sharp transient phases —
+exactly the case where a handful of skips buys a large improvement.
+"""
+
+from conftest import print_table, run_once
+
+from repro.experiments.figures import machine_run
+
+
+def test_fig12_sydney(benchmark):
+    data = run_once(benchmark, machine_run, "sydney", seed=17)
+    print_table(
+        "Fig. 12: Sydney, QISMET vs baseline (paper: ~50% improvement)",
+        [
+            ("iterations", data["iterations"]),
+            ("improvement (x)", data["improvement"]),
+            ("improvement (%)", data["improvement_pct"]),
+            ("qismet retries", data["qismet_retries"]),
+        ],
+    )
+    assert data["improvement"] > 0.9

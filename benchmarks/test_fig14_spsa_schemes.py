@@ -1,0 +1,24 @@
+"""Fig. 14: App2, QISMET vs SPSA optimization schemes.
+
+Paper: QISMET best (~1.65x the baseline expectation); Blocking and
+Resampling offer smaller, inconsistent gains; 2nd-order is *worse* than
+the baseline under transients.
+"""
+
+from conftest import print_table, run_once
+
+from repro.experiments.figures import fig14_spsa_schemes
+
+
+def test_fig14_spsa_schemes(benchmark):
+    data = run_once(benchmark, fig14_spsa_schemes, seed=13)
+    improvements = data["improvements"]
+    print_table(
+        f"Fig. 14: App2 schemes over {data['iterations']} iterations "
+        "(expectation rel. baseline)",
+        sorted(improvements.items()),
+    )
+    assert improvements["baseline"] == 1.0
+    # Shape: QISMET at or above baseline; 2nd-order below baseline.
+    assert improvements["qismet"] >= 0.95
+    assert improvements["2nd-order"] < 1.0

@@ -1,0 +1,30 @@
+"""Fig. 16: Kalman filtering vs QISMET and baseline (App6).
+
+Paper: with oracle-tuned hyper-parameters the best Kalman variant gains
+up to ~1.4x over the baseline but QISMET is substantially better, and the
+best (MV, T) choice varies by application.
+"""
+
+from conftest import print_table, run_once
+
+from repro.experiments.figures import fig16_kalman
+
+
+def test_fig16_kalman(benchmark):
+    data = run_once(benchmark, fig16_kalman, seed=31)
+    print_table(
+        "Fig. 16: Kalman grid vs QISMET (expectation rel. baseline)",
+        sorted(data["improvements"].items()),
+    )
+    # Shape: both mitigations beat the unprotected baseline, and the
+    # Kalman grid's performance is strongly hyper-parameter dependent
+    # (the paper's Section 7.4 point; the oracle-tuned best varies by
+    # app). Note: in our energy-level substrate the shared evaluation
+    # filter smooths transient kicks more effectively than on real
+    # devices, so Kalman's oracle-best can exceed QISMET here — a
+    # documented deviation (see EXPERIMENTS.md).
+    assert data["qismet_improvement"] > 0.95
+    kalman_ratios = [
+        v for k, v in data["improvements"].items() if k.startswith("kalman")
+    ]
+    assert max(kalman_ratios) - min(kalman_ratios) > 0.1  # strong (MV,T) dependence

@@ -1,0 +1,28 @@
+"""Fig. 19: sweeping the QISMET error threshold (skip budget).
+
+Paper: the conservative threshold (99p, skip <= 1%) behaves like the
+baseline; the best threshold (90p) wins in both regimes; the aggressive
+threshold (75p) helps under high transient noise but can fall below the
+baseline when transients are rare.
+"""
+
+from conftest import print_table, run_once
+
+from repro.experiments.figures import fig19_threshold_sweep
+
+
+def test_fig19_threshold_sweep(benchmark):
+    data = run_once(benchmark, fig19_threshold_sweep, seed=37)
+    for regime in ("low", "high"):
+        print_table(
+            f"Fig. 19 [{regime} transient noise] (expectation rel. baseline)",
+            sorted(data[regime].items()),
+        )
+    # Shape: conservative ~ baseline in both regimes.
+    for regime in ("low", "high"):
+        assert abs(data[regime]["qismet-conservative"] - 1.0) < 0.35
+    # The best threshold is at least as good as conservative under high noise.
+    assert (
+        data["high"]["qismet"]
+        >= data["high"]["qismet-conservative"] - 0.15
+    )

@@ -1,0 +1,30 @@
+"""Table 1: the six TFIM VQA applications (configs + substrate build)."""
+
+from conftest import print_table, run_once
+
+from repro.experiments.registry import APPLICATIONS
+
+
+def build_all_apps():
+    rows = []
+    for name in sorted(APPLICATIONS):
+        app = APPLICATIONS[name]
+        ansatz = app.build_ansatz()
+        ham = app.build_hamiltonian()
+        trace = app.build_trace(length=256)
+        rows.append(
+            (
+                name,
+                f"{app.num_qubits}q {app.ansatz_kind} reps={app.reps} "
+                f"{app.machine}({app.trial}) params={ansatz.num_parameters} "
+                f"terms={len(ham)} E0={app.ground_truth_energy():.4f} "
+                f"trace_p99={trace.magnitude_percentile(99):.3f}",
+            )
+        )
+    return rows
+
+
+def test_table1_registry(benchmark):
+    rows = run_once(benchmark, build_all_apps)
+    print_table("Table 1: TFIM VQA applications", rows)
+    assert len(rows) == 6

@@ -1,0 +1,47 @@
+"""Compare all mitigation schemes on one Table 1 application (Fig. 14/17).
+
+Runs the paper's comparison points — baseline, QISMET (three skip
+budgets), Blocking/Resampling/2nd-order SPSA, Kalman filtering and the
+only-transients strawman — on App2 (6q TFIM, RealAmplitudes reps=4,
+Guadalupe trace) and prints final energies plus expectation ratios.
+
+Run:  python examples/scheme_comparison.py
+"""
+
+from repro.experiments import get_app, run_comparison
+
+SCHEMES = (
+    "noise-free",
+    "baseline",
+    "qismet",
+    "qismet-conservative",
+    "qismet-aggressive",
+    "blocking",
+    "resampling",
+    "2nd-order",
+    "kalman",
+    "only-transients",
+)
+ITERATIONS = 300
+SEED = 13
+
+
+def main() -> None:
+    app = get_app("App2")
+    print(f"{app.name}: {app.num_qubits}q TFIM, {app.ansatz_kind} reps={app.reps}, "
+          f"trace from {app.machine} ({app.trial})")
+    comparison = run_comparison(app, SCHEMES, iterations=ITERATIONS, seed=SEED)
+    ratios = comparison.improvements()
+    finals = comparison.final_energies()
+    print(f"\nground truth energy: {comparison.ground_truth:.4f}")
+    print(f"{'scheme':>20}  {'final E':>9}  {'rel. baseline':>13}  {'retries':>7}")
+    for scheme in SCHEMES:
+        result = comparison.results[scheme]
+        print(
+            f"{scheme:>20}  {finals[scheme]:9.4f}  {ratios[scheme]:13.3f}  "
+            f"{result.total_retries:7d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs fail on ``bdist_wheel``. ``python setup.py
+develop`` (or ``pip install -e . --no-build-isolation`` on newer stacks)
+installs the package; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Hardware-efficient variational ansatz circuits.
+
+The paper's Table 1 uses the SU2 (``EfficientSU2``) and RA
+(``RealAmplitudes``) ansatz with 2/4/8 block repetitions; both are
+implemented here on a shared :class:`TwoLocalAnsatz` base.
+"""
+
+from repro.ansatz.base import Ansatz, TwoLocalAnsatz
+from repro.ansatz.efficient_su2 import EfficientSU2
+from repro.ansatz.real_amplitudes import RealAmplitudes
+from repro.ansatz.entanglement import entanglement_pairs
+
+__all__ = [
+    "Ansatz",
+    "TwoLocalAnsatz",
+    "EfficientSU2",
+    "RealAmplitudes",
+    "entanglement_pairs",
+]

@@ -1,0 +1,22 @@
+"""The EfficientSU2 ansatz (paper's "SU2")."""
+
+from __future__ import annotations
+
+from repro.ansatz.base import TwoLocalAnsatz
+
+
+class EfficientSU2(TwoLocalAnsatz):
+    """RY+RZ rotation layers with CX entanglement.
+
+    Matches Qiskit's ``EfficientSU2`` default gate choice; the paper's
+    Table 1 uses it with 2 and 4 repetitions on 6 qubits.
+    """
+
+    def __init__(self, num_qubits: int, reps: int = 2, entanglement: str = "linear"):
+        super().__init__(
+            num_qubits,
+            rotation_gates=("ry", "rz"),
+            reps=reps,
+            entanglement=entanglement,
+            name=f"su2_{num_qubits}q_{reps}r",
+        )

@@ -1,0 +1,32 @@
+"""Entanglement-layer patterns for two-local ansatz circuits."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def entanglement_pairs(num_qubits: int, pattern: str) -> List[Tuple[int, int]]:
+    """CX (control, target) pairs for a named entanglement pattern.
+
+    Patterns follow the Qiskit two-local conventions: ``linear`` chains
+    neighbours, ``circular`` adds the wrap-around link, ``full`` connects
+    every pair, ``pairwise`` alternates even and odd bonds (depth-2).
+    """
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be >= 1")
+    if num_qubits == 1:
+        return []
+    if pattern == "linear":
+        return [(i, i + 1) for i in range(num_qubits - 1)]
+    if pattern == "circular":
+        pairs = [(num_qubits - 1, 0)] if num_qubits > 2 else []
+        return pairs + [(i, i + 1) for i in range(num_qubits - 1)]
+    if pattern == "full":
+        return [
+            (i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)
+        ]
+    if pattern == "pairwise":
+        evens = [(i, i + 1) for i in range(0, num_qubits - 1, 2)]
+        odds = [(i, i + 1) for i in range(1, num_qubits - 1, 2)]
+        return evens + odds
+    raise ValueError(f"unknown entanglement pattern {pattern!r}")

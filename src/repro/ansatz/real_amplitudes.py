@@ -1,0 +1,22 @@
+"""The RealAmplitudes ansatz (paper's "RA")."""
+
+from __future__ import annotations
+
+from repro.ansatz.base import TwoLocalAnsatz
+
+
+class RealAmplitudes(TwoLocalAnsatz):
+    """RY rotation layers with CX entanglement; real-valued amplitudes.
+
+    Matches Qiskit's ``RealAmplitudes``; the paper's Table 1 uses it with
+    4 and 8 repetitions on 6 qubits.
+    """
+
+    def __init__(self, num_qubits: int, reps: int = 4, entanglement: str = "linear"):
+        super().__init__(
+            num_qubits,
+            rotation_gates=("ry",),
+            reps=reps,
+            entanglement=entanglement,
+            name=f"ra_{num_qubits}q_{reps}r",
+        )

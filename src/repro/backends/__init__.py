@@ -1,0 +1,31 @@
+"""Execution backends.
+
+Three energy backends share the job-based protocol
+(``new_job() -> job; job.energy(theta) -> float``):
+
+* :class:`IdealBackend` — exact statevector energies (the paper's
+  noise-free orange line);
+* :class:`StaticNoiseBackend` — static noise only (the blue line);
+* :class:`TransientBackend` — static noise plus trace-driven transients
+  (the red line, and the substrate QISMET runs on). All circuits evaluated
+  within one job share the same transient instance — exactly the property
+  QISMET's reference-rerun mechanism relies on.
+
+:class:`CountsBackend` is the shot-level backend (density-matrix noise,
+readout error, optional measurement mitigation) used to validate the
+energy-level approximations.
+"""
+
+from repro.backends.base import EnergyBackend, EnergyJob
+from repro.backends.ideal import IdealBackend
+from repro.backends.transient import StaticNoiseBackend, TransientBackend
+from repro.backends.counts import CountsBackend
+
+__all__ = [
+    "EnergyBackend",
+    "EnergyJob",
+    "IdealBackend",
+    "StaticNoiseBackend",
+    "TransientBackend",
+    "CountsBackend",
+]

@@ -1,0 +1,48 @@
+"""Backend protocol: quantum jobs yielding energy estimates.
+
+The job abstraction mirrors the paper's Fig. 7: a VQA run is a sequence of
+jobs; each job is a batch of circuits executed close together in time and
+therefore exposed to the *same* transient noise instance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class EnergyJob:
+    """One quantum job: evaluates energies under a fixed noise instant."""
+
+    def __init__(self, backend: "EnergyBackend", index: int):
+        self.backend = backend
+        self.index = index
+        self.circuits_run = 0
+
+    def energy(self, theta: np.ndarray) -> float:
+        """Objective estimate for parameters ``theta`` within this job."""
+        self.circuits_run += 1
+        self.backend.total_circuits += 1
+        return self.backend._evaluate(np.asarray(theta, dtype=float), self.index)
+
+
+class EnergyBackend:
+    """Base backend; subclasses implement ``_evaluate``."""
+
+    def __init__(self) -> None:
+        self.job_counter = 0
+        self.total_circuits = 0
+
+    def new_job(self) -> EnergyJob:
+        """Open the next job; advances the backend's noise clock."""
+        job = EnergyJob(self, self.job_counter)
+        self.job_counter += 1
+        return job
+
+    def _evaluate(self, theta: np.ndarray, job_index: int) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self.job_counter = 0
+        self.total_circuits = 0

@@ -1,0 +1,43 @@
+"""Minimal-basis quantum chemistry, built from scratch.
+
+Provides everything the H2 dissociation experiment (paper Fig. 18) needs:
+STO-3G Gaussian integrals (overlap, kinetic, nuclear attraction, electron
+repulsion via the Boys function), restricted Hartree-Fock SCF, the MO-basis
+integral transformation, and a Jordan-Wigner mapping of the second-
+quantized Hamiltonian to a qubit :class:`~repro.operators.PauliSum`.
+"""
+
+from repro.chemistry.basis import STO3G_H_EXPONENTS, ContractedGaussian, hydrogen_sto3g
+from repro.chemistry.integrals import (
+    boys_f0,
+    electron_repulsion_tensor,
+    kinetic_matrix,
+    nuclear_attraction_matrix,
+    overlap_matrix,
+)
+from repro.chemistry.hartree_fock import HartreeFockResult, restricted_hartree_fock
+from repro.chemistry.jordan_wigner import (
+    annihilation_operator,
+    creation_operator,
+    molecular_hamiltonian_matrix,
+)
+from repro.chemistry.h2 import H2Problem, h2_hamiltonian, h2_problem
+
+__all__ = [
+    "STO3G_H_EXPONENTS",
+    "ContractedGaussian",
+    "hydrogen_sto3g",
+    "boys_f0",
+    "overlap_matrix",
+    "kinetic_matrix",
+    "nuclear_attraction_matrix",
+    "electron_repulsion_tensor",
+    "HartreeFockResult",
+    "restricted_hartree_fock",
+    "creation_operator",
+    "annihilation_operator",
+    "molecular_hamiltonian_matrix",
+    "H2Problem",
+    "h2_hamiltonian",
+    "h2_problem",
+]

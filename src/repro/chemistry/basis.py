@@ -1,0 +1,74 @@
+"""Gaussian basis sets (STO-3G for hydrogen).
+
+An s-type contracted Gaussian is a fixed linear combination of primitive
+Gaussians ``g(r) = N exp(-alpha |r - R|^2)`` with normalization
+``N = (2 alpha / pi)^{3/4}``. STO-3G fits a Slater 1s orbital with three
+primitives; the standard hydrogen exponents below already include the
+zeta = 1.24 scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+# Standard STO-3G hydrogen 1s parameters (Szabo & Ostlund, Table 3.8).
+STO3G_H_EXPONENTS: Tuple[float, float, float] = (
+    3.42525091,
+    0.62391373,
+    0.16885540,
+)
+STO3G_H_COEFFICIENTS: Tuple[float, float, float] = (
+    0.15432897,
+    0.53532814,
+    0.44463454,
+)
+
+
+@dataclass(frozen=True)
+class ContractedGaussian:
+    """An s-type contracted Gaussian basis function centred at ``center``."""
+
+    exponents: Tuple[float, ...]
+    coefficients: Tuple[float, ...]
+    center: Tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if len(self.exponents) != len(self.coefficients):
+            raise ValueError("exponents and coefficients must align")
+        if len(self.exponents) == 0:
+            raise ValueError("need at least one primitive")
+
+    @property
+    def num_primitives(self) -> int:
+        return len(self.exponents)
+
+    def primitive_norms(self) -> np.ndarray:
+        """Per-primitive normalization constants (2a/pi)^{3/4}."""
+        alphas = np.asarray(self.exponents)
+        return (2.0 * alphas / np.pi) ** 0.75
+
+    def center_array(self) -> np.ndarray:
+        return np.asarray(self.center, dtype=float)
+
+
+def hydrogen_sto3g(center: Tuple[float, float, float]) -> ContractedGaussian:
+    """The STO-3G 1s basis function for a hydrogen atom at ``center``.
+
+    Coordinates are in Bohr (atomic units) throughout the chemistry stack.
+    """
+    return ContractedGaussian(
+        exponents=STO3G_H_EXPONENTS,
+        coefficients=STO3G_H_COEFFICIENTS,
+        center=tuple(float(x) for x in center),
+    )
+
+
+ANGSTROM_TO_BOHR = 1.8897259886
+
+
+def angstrom_to_bohr(value: float) -> float:
+    """Convert a length from Angstrom to Bohr."""
+    return value * ANGSTROM_TO_BOHR

@@ -1,0 +1,120 @@
+"""Restricted Hartree-Fock SCF for closed-shell molecules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy.linalg import eigh
+
+from repro.chemistry.basis import ContractedGaussian
+from repro.chemistry.integrals import (
+    electron_repulsion_tensor,
+    kinetic_matrix,
+    nuclear_attraction_matrix,
+    nuclear_repulsion_energy,
+    overlap_matrix,
+)
+
+
+@dataclass(frozen=True)
+class HartreeFockResult:
+    """Converged SCF data in both AO and MO bases."""
+
+    energy: float
+    nuclear_repulsion: float
+    mo_coefficients: np.ndarray
+    orbital_energies: np.ndarray
+    hcore_mo: np.ndarray
+    eri_mo: np.ndarray
+    num_electrons: int
+    iterations: int
+
+    @property
+    def electronic_energy(self) -> float:
+        return self.energy - self.nuclear_repulsion
+
+    @property
+    def num_orbitals(self) -> int:
+        return self.mo_coefficients.shape[1]
+
+    @property
+    def num_spin_orbitals(self) -> int:
+        return 2 * self.num_orbitals
+
+
+def _transform_eri(eri_ao: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """AO -> MO transformation of the two-electron tensor, (pq|rs)."""
+    return np.einsum(
+        "pi,qj,pqrs,rk,sl->ijkl", c, c, eri_ao, c, c, optimize=True
+    )
+
+
+def restricted_hartree_fock(
+    basis: Sequence[ContractedGaussian],
+    nuclei: Sequence[Tuple[float, Tuple[float, float, float]]],
+    num_electrons: int,
+    max_iterations: int = 200,
+    convergence: float = 1e-10,
+) -> HartreeFockResult:
+    """Solve the RHF equations by fixed-point SCF iteration.
+
+    Uses symmetric (Lowdin) orthogonalization and simple density damping
+    for robustness. Returns MO-basis integrals ready for second
+    quantization.
+    """
+    if num_electrons % 2 != 0:
+        raise ValueError("RHF requires an even electron count")
+    num_occupied = num_electrons // 2
+
+    s = overlap_matrix(basis)
+    hcore = kinetic_matrix(basis) + nuclear_attraction_matrix(basis, nuclei)
+    eri = electron_repulsion_tensor(basis)
+    e_nuc = nuclear_repulsion_energy(nuclei)
+
+    # Lowdin orthogonalization: X = S^{-1/2}.
+    s_eigvals, s_eigvecs = eigh(s)
+    if np.min(s_eigvals) < 1e-10:
+        raise ValueError("overlap matrix is near-singular")
+    x = s_eigvecs @ np.diag(s_eigvals**-0.5) @ s_eigvecs.T
+
+    density = np.zeros_like(s)
+    energy_old = 0.0
+    coefficients = np.zeros_like(s)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        coulomb = np.einsum("pqrs,rs->pq", eri, density, optimize=True)
+        exchange = np.einsum("prqs,rs->pq", eri, density, optimize=True)
+        fock = hcore + coulomb - 0.5 * exchange
+        fock_ortho = x.T @ fock @ x
+        orbital_energies, c_ortho = eigh(fock_ortho)
+        coefficients = x @ c_ortho
+        occupied = coefficients[:, :num_occupied]
+        density_new = 2.0 * occupied @ occupied.T
+        energy = 0.5 * np.sum(density_new * (hcore + fock)) + e_nuc
+        if abs(energy - energy_old) < convergence and np.max(
+            np.abs(density_new - density)
+        ) < np.sqrt(convergence):
+            density = density_new
+            break
+        density = 0.7 * density_new + 0.3 * density
+        energy_old = energy
+
+    coulomb = np.einsum("pqrs,rs->pq", eri, density, optimize=True)
+    exchange = np.einsum("prqs,rs->pq", eri, density, optimize=True)
+    fock = hcore + coulomb - 0.5 * exchange
+    energy = float(0.5 * np.sum(density * (hcore + fock)) + e_nuc)
+    orbital_energies, c_ortho = eigh(x.T @ fock @ x)
+    coefficients = x @ c_ortho
+
+    return HartreeFockResult(
+        energy=energy,
+        nuclear_repulsion=float(e_nuc),
+        mo_coefficients=coefficients,
+        orbital_energies=orbital_energies,
+        hcore_mo=coefficients.T @ hcore @ coefficients,
+        eri_mo=_transform_eri(eri, coefficients),
+        num_electrons=num_electrons,
+        iterations=iterations,
+    )

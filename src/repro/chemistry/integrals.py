@@ -1,0 +1,207 @@
+"""Molecular integrals over s-type contracted Gaussians.
+
+Closed-form primitive integrals follow Szabo & Ostlund, Appendix A:
+
+* overlap      ``(a|b)``
+* kinetic      ``(a|-1/2 grad^2|b)``
+* nuclear      ``(a|-Z/|r-Rc||b)`` via the Boys function ``F0``
+* repulsion    ``(ab|cd)`` in chemists' notation, also via ``F0``
+
+All lengths in Bohr, energies in Hartree.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy.special import erf
+
+from repro.chemistry.basis import ContractedGaussian
+
+
+def boys_f0(t: np.ndarray) -> np.ndarray:
+    """Boys function of order zero, ``F0(t) = (1/2) sqrt(pi/t) erf(sqrt t)``.
+
+    Uses the series limit ``F0(t) -> 1 - t/3`` for tiny arguments to stay
+    numerically stable.
+    """
+    t = np.asarray(t, dtype=float)
+    out = np.empty_like(t)
+    small = t < 1e-12
+    out[small] = 1.0 - t[small] / 3.0
+    big = ~small
+    sqrt_t = np.sqrt(t[big])
+    out[big] = 0.5 * np.sqrt(np.pi) * erf(sqrt_t) / sqrt_t
+    return out
+
+
+def _primitive_overlap(a: float, ra: np.ndarray, b: float, rb: np.ndarray) -> float:
+    p = a + b
+    diff = ra - rb
+    return (np.pi / p) ** 1.5 * np.exp(-a * b / p * diff @ diff)
+
+
+def _primitive_kinetic(a: float, ra: np.ndarray, b: float, rb: np.ndarray) -> float:
+    p = a + b
+    mu = a * b / p
+    diff = ra - rb
+    r2 = float(diff @ diff)
+    return mu * (3.0 - 2.0 * mu * r2) * (np.pi / p) ** 1.5 * np.exp(-mu * r2)
+
+
+def _primitive_nuclear(
+    a: float, ra: np.ndarray, b: float, rb: np.ndarray, rc: np.ndarray
+) -> float:
+    """Attraction integral for unit nuclear charge at ``rc`` (sign positive)."""
+    p = a + b
+    mu = a * b / p
+    diff = ra - rb
+    rp = (a * ra + b * rb) / p
+    dpc = rp - rc
+    t = p * float(dpc @ dpc)
+    return (
+        2.0
+        * np.pi
+        / p
+        * np.exp(-mu * float(diff @ diff))
+        * float(boys_f0(np.array(t)))
+    )
+
+
+def _primitive_eri(
+    a: float,
+    ra: np.ndarray,
+    b: float,
+    rb: np.ndarray,
+    c: float,
+    rc: np.ndarray,
+    d: float,
+    rd: np.ndarray,
+) -> float:
+    p = a + b
+    q = c + d
+    rp = (a * ra + b * rb) / p
+    rq = (c * rc + d * rd) / q
+    dab = ra - rb
+    dcd = rc - rd
+    dpq = rp - rq
+    t = p * q / (p + q) * float(dpq @ dpq)
+    prefactor = 2.0 * np.pi**2.5 / (p * q * np.sqrt(p + q))
+    return (
+        prefactor
+        * np.exp(-a * b / p * float(dab @ dab) - c * d / q * float(dcd @ dcd))
+        * float(boys_f0(np.array(t)))
+    )
+
+
+def _contraction_weights(basis: ContractedGaussian) -> np.ndarray:
+    """Contraction coefficient times primitive normalization."""
+    return np.asarray(basis.coefficients) * basis.primitive_norms()
+
+
+def overlap_matrix(basis: Sequence[ContractedGaussian]) -> np.ndarray:
+    """Overlap matrix ``S`` over contracted functions."""
+    n = len(basis)
+    s = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            value = 0.0
+            wi, wj = _contraction_weights(basis[i]), _contraction_weights(basis[j])
+            ri, rj = basis[i].center_array(), basis[j].center_array()
+            for a, ca in zip(basis[i].exponents, wi):
+                for b, cb in zip(basis[j].exponents, wj):
+                    value += ca * cb * _primitive_overlap(a, ri, b, rj)
+            s[i, j] = s[j, i] = value
+    return s
+
+
+def kinetic_matrix(basis: Sequence[ContractedGaussian]) -> np.ndarray:
+    """Kinetic energy matrix ``T``."""
+    n = len(basis)
+    t = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            value = 0.0
+            wi, wj = _contraction_weights(basis[i]), _contraction_weights(basis[j])
+            ri, rj = basis[i].center_array(), basis[j].center_array()
+            for a, ca in zip(basis[i].exponents, wi):
+                for b, cb in zip(basis[j].exponents, wj):
+                    value += ca * cb * _primitive_kinetic(a, ri, b, rj)
+            t[i, j] = t[j, i] = value
+    return t
+
+
+def nuclear_attraction_matrix(
+    basis: Sequence[ContractedGaussian],
+    nuclei: Sequence[Tuple[float, Tuple[float, float, float]]],
+) -> np.ndarray:
+    """Nuclear attraction matrix ``V`` (negative semidefinite contribution).
+
+    ``nuclei`` is a list of ``(charge, position)`` pairs in Bohr.
+    """
+    n = len(basis)
+    v = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            value = 0.0
+            wi, wj = _contraction_weights(basis[i]), _contraction_weights(basis[j])
+            ri, rj = basis[i].center_array(), basis[j].center_array()
+            for charge, position in nuclei:
+                rc = np.asarray(position, dtype=float)
+                for a, ca in zip(basis[i].exponents, wi):
+                    for b, cb in zip(basis[j].exponents, wj):
+                        value -= charge * ca * cb * _primitive_nuclear(a, ri, b, rj, rc)
+            v[i, j] = v[j, i] = value
+    return v
+
+
+def electron_repulsion_tensor(basis: Sequence[ContractedGaussian]) -> np.ndarray:
+    """Two-electron repulsion integrals ``(ij|kl)`` in chemists' notation."""
+    n = len(basis)
+    eri = np.zeros((n, n, n, n))
+    weights = [_contraction_weights(b) for b in basis]
+    centers = [b.center_array() for b in basis]
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                for l in range(n):
+                    value = 0.0
+                    for a, ca in zip(basis[i].exponents, weights[i]):
+                        for b, cb in zip(basis[j].exponents, weights[j]):
+                            for c, cc in zip(basis[k].exponents, weights[k]):
+                                for d, cd in zip(basis[l].exponents, weights[l]):
+                                    value += (
+                                        ca
+                                        * cb
+                                        * cc
+                                        * cd
+                                        * _primitive_eri(
+                                            a,
+                                            centers[i],
+                                            b,
+                                            centers[j],
+                                            c,
+                                            centers[k],
+                                            d,
+                                            centers[l],
+                                        )
+                                    )
+                    eri[i, j, k, l] = value
+    return eri
+
+
+def nuclear_repulsion_energy(
+    nuclei: Sequence[Tuple[float, Tuple[float, float, float]]]
+) -> float:
+    """Classical nucleus-nucleus Coulomb repulsion."""
+    energy = 0.0
+    for i in range(len(nuclei)):
+        for j in range(i + 1, len(nuclei)):
+            zi, ri = nuclei[i]
+            zj, rj = nuclei[j]
+            distance = np.linalg.norm(np.asarray(ri) - np.asarray(rj))
+            if distance <= 0:
+                raise ValueError("coincident nuclei")
+            energy += zi * zj / distance
+    return float(energy)

@@ -1,0 +1,134 @@
+"""Jordan-Wigner mapping and Fock-space Hamiltonian assembly.
+
+Spin orbitals map to qubits as ``index = 2 * spatial + spin`` (interleaved,
+spin alpha = 0). Occupation uses ``|1>`` = occupied, with qubit 0 as the
+first tensor axis, consistent with the rest of the library.
+
+The second-quantized Hamiltonian
+
+``H = sum_ij h_ij a+_i a_j + 1/2 sum_ijkl <ij|kl> a+_i a+_j a_l a_k``
+
+is assembled directly as a dense Fock-space matrix from JW ladder-operator
+matrices, then Pauli-decomposed. For the minimal-basis systems targeted
+here (<= 4 spin orbitals) this is both exact and fast, and it sidesteps a
+hand-rolled fermionic normal-ordering engine as a possible bug source.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+_I2 = np.eye(2, dtype=complex)
+_Z = np.diag([1.0, -1.0]).astype(complex)
+# sigma^- annihilates |1> (occupied): |0><1|.
+_LOWER = np.array([[0, 1], [0, 0]], dtype=complex)
+
+
+@lru_cache(maxsize=None)
+def annihilation_operator(index: int, num_modes: int) -> np.ndarray:
+    """Dense JW annihilation operator ``a_index`` on ``num_modes`` qubits."""
+    if not 0 <= index < num_modes:
+        raise ValueError("mode index out of range")
+    matrix = np.array([[1.0 + 0j]])
+    for mode in range(num_modes):
+        if mode < index:
+            factor = _Z
+        elif mode == index:
+            factor = _LOWER
+        else:
+            factor = _I2
+        matrix = np.kron(matrix, factor)
+    return matrix
+
+
+def creation_operator(index: int, num_modes: int) -> np.ndarray:
+    """Dense JW creation operator ``a+_index``."""
+    return annihilation_operator(index, num_modes).conj().T
+
+
+def number_operator(num_modes: int) -> np.ndarray:
+    """Total particle-number operator ``sum_i a+_i a_i``."""
+    total = np.zeros((2**num_modes, 2**num_modes), dtype=complex)
+    for mode in range(num_modes):
+        a = annihilation_operator(mode, num_modes)
+        total += a.conj().T @ a
+    return total
+
+
+def molecular_hamiltonian_matrix(
+    hcore_mo: np.ndarray,
+    eri_mo: np.ndarray,
+    nuclear_repulsion: float = 0.0,
+) -> np.ndarray:
+    """Fock-space matrix of the molecular Hamiltonian.
+
+    ``hcore_mo`` is the one-body MO integral matrix; ``eri_mo`` the MO
+    two-electron tensor in chemists' notation ``(pq|rs)``. Spin is added
+    here: ``<ij|kl> = (p_i p_k | p_j p_l) delta(s_i,s_k) delta(s_j,s_l)``.
+    """
+    num_spatial = hcore_mo.shape[0]
+    num_modes = 2 * num_spatial
+    dim = 2**num_modes
+    hamiltonian = np.zeros((dim, dim), dtype=complex)
+
+    creators = [creation_operator(i, num_modes) for i in range(num_modes)]
+    annihilators = [annihilation_operator(i, num_modes) for i in range(num_modes)]
+
+    def spatial(index: int) -> int:
+        return index // 2
+
+    def spin(index: int) -> int:
+        return index % 2
+
+    # One-body part.
+    for i in range(num_modes):
+        for j in range(num_modes):
+            if spin(i) != spin(j):
+                continue
+            coefficient = hcore_mo[spatial(i), spatial(j)]
+            if abs(coefficient) < 1e-14:
+                continue
+            hamiltonian += coefficient * (creators[i] @ annihilators[j])
+
+    # Two-body part (physicists' ordering a+_i a+_j a_l a_k).
+    for i in range(num_modes):
+        for j in range(num_modes):
+            for k in range(num_modes):
+                for l in range(num_modes):
+                    if spin(i) != spin(k) or spin(j) != spin(l):
+                        continue
+                    coefficient = eri_mo[
+                        spatial(i), spatial(k), spatial(j), spatial(l)
+                    ]
+                    if abs(coefficient) < 1e-14:
+                        continue
+                    hamiltonian += (
+                        0.5
+                        * coefficient
+                        * (
+                            creators[i]
+                            @ creators[j]
+                            @ annihilators[l]
+                            @ annihilators[k]
+                        )
+                    )
+
+    hamiltonian += nuclear_repulsion * np.eye(dim)
+    return hamiltonian
+
+
+def sector_ground_energy(
+    hamiltonian: np.ndarray, num_particles: int, num_modes: int
+) -> float:
+    """Lowest eigenvalue within a fixed particle-number sector."""
+    occupancies = np.arange(2**num_modes)
+    # Popcount of each basis index gives the particle number (bit i of the
+    # index corresponds to mode i because qubit 0 is the leading kron factor;
+    # popcount is basis-order independent anyway).
+    counts = np.array([bin(i).count("1") for i in range(2**num_modes)])
+    mask = counts == num_particles
+    block = hamiltonian[np.ix_(mask, mask)]
+    return float(np.linalg.eigvalsh(block)[0])

@@ -1,0 +1,36 @@
+"""Quantum circuit intermediate representation.
+
+The IR is deliberately small: a :class:`QuantumCircuit` is an ordered list
+of gate instructions over named qubits, with optional symbolic
+:class:`Parameter` angles. For hot loops (VQE objective evaluations), a
+circuit compiles down to a :class:`CompiledProgram` that the statevector
+simulator executes without re-touching Python-level instruction objects.
+"""
+
+from repro.circuits.parameter import Parameter, ParameterExpression, ParameterVector
+from repro.circuits.gates import GATES, GateSpec, gate_matrix
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.program import CompiledProgram, compile_circuit
+from repro.circuits.library import (
+    bell_pair,
+    ghz_circuit,
+    layered_cx_circuit,
+    random_circuit,
+)
+
+__all__ = [
+    "Parameter",
+    "ParameterExpression",
+    "ParameterVector",
+    "GATES",
+    "GateSpec",
+    "gate_matrix",
+    "Instruction",
+    "QuantumCircuit",
+    "CompiledProgram",
+    "compile_circuit",
+    "bell_pair",
+    "ghz_circuit",
+    "layered_cx_circuit",
+    "random_circuit",
+]

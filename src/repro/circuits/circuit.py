@@ -1,0 +1,251 @@
+"""The :class:`QuantumCircuit` intermediate representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
+
+from repro.circuits.gates import GATES
+from repro.circuits.parameter import Parameter, ParameterExpression
+
+ParamValue = Union[float, int, ParameterExpression]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single gate application (or measurement/barrier marker)."""
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[ParamValue, ...] = ()
+
+    @property
+    def is_parameterized(self) -> bool:
+        return any(isinstance(p, ParameterExpression) for p in self.params)
+
+
+class QuantumCircuit:
+    """An ordered gate list over ``num_qubits`` qubits.
+
+    Gates append through named methods (``circuit.ry(theta, 0)``) or the
+    generic :meth:`append`. Measurement is implicit: simulators measure all
+    qubits in the computational basis unless basis-rotation gates are added
+    first (see ``repro.operators.measurement_basis``).
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit"):
+        if num_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.name = name
+        self._instructions: List[Instruction] = []
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        return tuple(self._instructions)
+
+    # -- construction --------------------------------------------------------
+
+    def _check_qubits(self, qubits: Sequence[int]) -> Tuple[int, ...]:
+        qubits = tuple(int(q) for q in qubits)
+        for qubit in qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise ValueError(
+                    f"qubit {qubit} out of range for {self.num_qubits}-qubit circuit"
+                )
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"duplicate qubits in {qubits}")
+        return qubits
+
+    def append(self, name: str, qubits: Sequence[int], params: Sequence[ParamValue] = ()) -> "QuantumCircuit":
+        """Append a named gate; returns self for chaining."""
+        if name not in GATES and name != "barrier":
+            raise KeyError(f"unknown gate {name!r}")
+        qubits = self._check_qubits(qubits)
+        if name != "barrier":
+            spec = GATES[name]
+            if len(qubits) != spec.num_qubits:
+                raise ValueError(
+                    f"gate {name!r} acts on {spec.num_qubits} qubits, got {len(qubits)}"
+                )
+            if len(params) != spec.num_params:
+                raise ValueError(
+                    f"gate {name!r} expects {spec.num_params} params, got {len(params)}"
+                )
+        self._instructions.append(Instruction(name, qubits, tuple(params)))
+        return self
+
+    # one- and two-qubit convenience methods
+    def id(self, qubit: int) -> "QuantumCircuit":
+        return self.append("id", (qubit,))
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self.append("x", (qubit,))
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self.append("y", (qubit,))
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self.append("z", (qubit,))
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self.append("h", (qubit,))
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self.append("s", (qubit,))
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self.append("sdg", (qubit,))
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        return self.append("t", (qubit,))
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self.append("tdg", (qubit,))
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        return self.append("sx", (qubit,))
+
+    def rx(self, theta: ParamValue, qubit: int) -> "QuantumCircuit":
+        return self.append("rx", (qubit,), (theta,))
+
+    def ry(self, theta: ParamValue, qubit: int) -> "QuantumCircuit":
+        return self.append("ry", (qubit,), (theta,))
+
+    def rz(self, theta: ParamValue, qubit: int) -> "QuantumCircuit":
+        return self.append("rz", (qubit,), (theta,))
+
+    def p(self, theta: ParamValue, qubit: int) -> "QuantumCircuit":
+        return self.append("p", (qubit,), (theta,))
+
+    def u(self, theta: ParamValue, phi: ParamValue, lam: ParamValue, qubit: int) -> "QuantumCircuit":
+        return self.append("u", (qubit,), (theta, phi, lam))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append("cx", (control, target))
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append("cz", (control, target))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.append("swap", (a, b))
+
+    def rzz(self, theta: ParamValue, a: int, b: int) -> "QuantumCircuit":
+        return self.append("rzz", (a, b), (theta,))
+
+    def rxx(self, theta: ParamValue, a: int, b: int) -> "QuantumCircuit":
+        return self.append("rxx", (a, b), (theta,))
+
+    def crx(self, theta: ParamValue, control: int, target: int) -> "QuantumCircuit":
+        return self.append("crx", (control, target), (theta,))
+
+    def crz(self, theta: ParamValue, control: int, target: int) -> "QuantumCircuit":
+        return self.append("crz", (control, target), (theta,))
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        targets = qubits if qubits else tuple(range(self.num_qubits))
+        self._instructions.append(Instruction("barrier", tuple(targets)))
+        return self
+
+    def compose(self, other: "QuantumCircuit", qubits: Sequence[int] = None) -> "QuantumCircuit":
+        """Append another circuit, optionally remapped onto ``qubits``."""
+        if qubits is None:
+            mapping = list(range(other.num_qubits))
+        else:
+            mapping = list(qubits)
+        if len(mapping) != other.num_qubits:
+            raise ValueError("qubit mapping length must match other.num_qubits")
+        for inst in other:
+            mapped = tuple(mapping[q] for q in inst.qubits)
+            if inst.name == "barrier":
+                self._instructions.append(Instruction("barrier", mapped))
+            else:
+                self.append(inst.name, mapped, inst.params)
+        return self
+
+    def copy(self) -> "QuantumCircuit":
+        clone = QuantumCircuit(self.num_qubits, self.name)
+        clone._instructions = list(self._instructions)
+        return clone
+
+    # -- parameters -----------------------------------------------------------
+
+    @property
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """Distinct parameters in first-appearance order."""
+        seen: Dict[Parameter, None] = {}
+        for inst in self._instructions:
+            for param in inst.params:
+                if isinstance(param, ParameterExpression):
+                    seen.setdefault(param.parameter, None)
+        return tuple(seen.keys())
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    def bind(self, values: Union[Mapping[Parameter, float], Iterable[float]]) -> "QuantumCircuit":
+        """Return a fully numeric copy with parameters substituted.
+
+        ``values`` may be a mapping from :class:`Parameter` or a plain
+        sequence ordered like :attr:`parameters`.
+        """
+        if not isinstance(values, Mapping):
+            params = self.parameters
+            values = dict(zip(params, map(float, values)))
+            if len(values) != len(params):
+                raise ValueError(
+                    f"expected {len(params)} values, got {len(values)}"
+                )
+        bound = QuantumCircuit(self.num_qubits, self.name)
+        for inst in self._instructions:
+            new_params = tuple(
+                p.bind(values) if isinstance(p, ParameterExpression) else float(p)
+                for p in inst.params
+            )
+            bound._instructions.append(Instruction(inst.name, inst.qubits, new_params))
+        return bound
+
+    # -- metrics ----------------------------------------------------------------
+
+    def count_ops(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for inst in self._instructions:
+            counts[inst.name] = counts.get(inst.name, 0) + 1
+        return counts
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        return sum(
+            1
+            for inst in self._instructions
+            if inst.name != "barrier" and len(inst.qubits) == 2
+        )
+
+    def depth(self) -> int:
+        """Circuit depth counting all gates (barriers excluded)."""
+        frontier = [0] * self.num_qubits
+        for inst in self._instructions:
+            if inst.name == "barrier":
+                continue
+            level = max(frontier[q] for q in inst.qubits) + 1
+            for qubit in inst.qubits:
+                frontier[qubit] = level
+        return max(frontier) if frontier else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={len(self._instructions)}, params={self.num_parameters})"
+        )

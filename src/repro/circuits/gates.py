@@ -1,0 +1,170 @@
+"""Gate definitions and matrix constructors.
+
+Matrices follow the little-endian qubit convention used throughout the
+library: for a two-qubit gate acting on ``(control, target)``, the matrix
+is expressed in the basis ``|control target>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+SQRT2_INV = 1.0 / np.sqrt(2.0)
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = SQRT2_INV * np.array([[1, 1], [1, -1]], dtype=complex)
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+_SDG = np.array([[1, 0], [0, -1j]], dtype=complex)
+_T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+_TDG = np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+_SXDG = _SX.conj().T
+
+_CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+_CZ = np.diag([1, 1, 1, -1]).astype(complex)
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def _rx(theta: float) -> np.ndarray:
+    half = theta / 2.0
+    return np.array(
+        [[np.cos(half), -1j * np.sin(half)], [-1j * np.sin(half), np.cos(half)]],
+        dtype=complex,
+    )
+
+
+def _ry(theta: float) -> np.ndarray:
+    half = theta / 2.0
+    return np.array(
+        [[np.cos(half), -np.sin(half)], [np.sin(half), np.cos(half)]], dtype=complex
+    )
+
+
+def _rz(theta: float) -> np.ndarray:
+    half = theta / 2.0
+    return np.array(
+        [[np.exp(-1j * half), 0], [0, np.exp(1j * half)]], dtype=complex
+    )
+
+
+def _p(theta: float) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+
+
+def _u(theta: float, phi: float, lam: float) -> np.ndarray:
+    half = theta / 2.0
+    return np.array(
+        [
+            [np.cos(half), -np.exp(1j * lam) * np.sin(half)],
+            [
+                np.exp(1j * phi) * np.sin(half),
+                np.exp(1j * (phi + lam)) * np.cos(half),
+            ],
+        ],
+        dtype=complex,
+    )
+
+
+def _rzz(theta: float) -> np.ndarray:
+    half = theta / 2.0
+    return np.diag(
+        [np.exp(-1j * half), np.exp(1j * half), np.exp(1j * half), np.exp(-1j * half)]
+    ).astype(complex)
+
+
+def _rxx(theta: float) -> np.ndarray:
+    half = theta / 2.0
+    cos, sin = np.cos(half), np.sin(half)
+    mat = np.eye(4, dtype=complex) * cos
+    anti = -1j * sin
+    mat[0, 3] = anti
+    mat[1, 2] = anti
+    mat[2, 1] = anti
+    mat[3, 0] = anti
+    return mat
+
+
+def _crx(theta: float) -> np.ndarray:
+    mat = np.eye(4, dtype=complex)
+    mat[2:, 2:] = _rx(theta)
+    return mat
+
+
+def _crz(theta: float) -> np.ndarray:
+    mat = np.eye(4, dtype=complex)
+    mat[2:, 2:] = _rz(theta)
+    return mat
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate kind."""
+
+    name: str
+    num_qubits: int
+    num_params: int
+    constructor: Callable[..., np.ndarray]
+
+    def matrix(self, params: Sequence[float] = ()) -> np.ndarray:
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"gate {self.name!r} expects {self.num_params} parameters, "
+                f"got {len(params)}"
+            )
+        return self.constructor(*params)
+
+
+def _fixed(matrix: np.ndarray) -> Callable[[], np.ndarray]:
+    def build() -> np.ndarray:
+        return matrix
+
+    return build
+
+
+GATES: Dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in [
+        GateSpec("id", 1, 0, _fixed(_I)),
+        GateSpec("x", 1, 0, _fixed(_X)),
+        GateSpec("y", 1, 0, _fixed(_Y)),
+        GateSpec("z", 1, 0, _fixed(_Z)),
+        GateSpec("h", 1, 0, _fixed(_H)),
+        GateSpec("s", 1, 0, _fixed(_S)),
+        GateSpec("sdg", 1, 0, _fixed(_SDG)),
+        GateSpec("t", 1, 0, _fixed(_T)),
+        GateSpec("tdg", 1, 0, _fixed(_TDG)),
+        GateSpec("sx", 1, 0, _fixed(_SX)),
+        GateSpec("sxdg", 1, 0, _fixed(_SXDG)),
+        GateSpec("rx", 1, 1, _rx),
+        GateSpec("ry", 1, 1, _ry),
+        GateSpec("rz", 1, 1, _rz),
+        GateSpec("p", 1, 1, _p),
+        GateSpec("u", 1, 3, _u),
+        GateSpec("cx", 2, 0, _fixed(_CX)),
+        GateSpec("cz", 2, 0, _fixed(_CZ)),
+        GateSpec("swap", 2, 0, _fixed(_SWAP)),
+        GateSpec("rzz", 2, 1, _rzz),
+        GateSpec("rxx", 2, 1, _rxx),
+        GateSpec("crx", 2, 1, _crx),
+        GateSpec("crz", 2, 1, _crz),
+    ]
+}
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the unitary matrix for a named gate."""
+    try:
+        spec = GATES[name]
+    except KeyError:
+        raise KeyError(f"unknown gate {name!r}") from None
+    return spec.matrix(params)

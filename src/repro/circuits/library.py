@@ -1,0 +1,80 @@
+"""Small circuit constructors used by tests, examples and fidelity studies."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def bell_pair() -> QuantumCircuit:
+    """The canonical two-qubit Bell-state circuit."""
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """A GHZ-state preparation over ``num_qubits`` qubits."""
+    if num_qubits < 2:
+        raise ValueError("GHZ needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: SeedLike = None,
+    two_qubit_fraction: float = 0.35,
+) -> QuantumCircuit:
+    """A random circuit of single-qubit rotations and CX gates.
+
+    Used by the Fig. 4 fidelity study (shallow 4q/6CX vs deep 8q/~50CX
+    circuits) and by simulator cross-validation tests.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if not 0.0 <= two_qubit_fraction <= 1.0:
+        raise ValueError("two_qubit_fraction must be in [0, 1]")
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random{num_qubits}x{depth}")
+    single_gates = ("rx", "ry", "rz", "h", "sx")
+    for _ in range(depth):
+        if num_qubits >= 2 and rng.random() < two_qubit_fraction:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        else:
+            gate = str(rng.choice(single_gates))
+            qubit = int(rng.integers(num_qubits))
+            if gate in ("rx", "ry", "rz"):
+                circuit.append(gate, (qubit,), (float(rng.uniform(0, 2 * np.pi)),))
+            else:
+                circuit.append(gate, (qubit,))
+    return circuit
+
+
+def layered_cx_circuit(
+    num_qubits: int, cx_layers: int, seed: SeedLike = None
+) -> QuantumCircuit:
+    """Brick-work circuit with a controllable CX count.
+
+    Reproduces the Fig. 4 workload shape: each layer applies random
+    single-qubit rotations followed by a chain of CX gates.
+    """
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"layered{num_qubits}x{cx_layers}")
+    for layer in range(cx_layers):
+        for qubit in range(num_qubits):
+            circuit.ry(float(rng.uniform(0, 2 * np.pi)), qubit)
+        start = layer % 2
+        for qubit in range(start, num_qubits - 1, 2):
+            circuit.cx(qubit, qubit + 1)
+    return circuit

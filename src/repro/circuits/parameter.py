@@ -1,0 +1,110 @@
+"""Symbolic circuit parameters.
+
+A :class:`Parameter` is a named placeholder for a rotation angle. A
+:class:`ParameterExpression` supports the small amount of affine arithmetic
+ansatz builders need (scaling and shifting a parameter), without pulling in
+a full symbolic-algebra dependency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Mapping, Union
+
+Number = Union[int, float]
+
+_COUNTER = itertools.count()
+
+
+class ParameterExpression:
+    """An affine expression ``coeff * parameter + offset``."""
+
+    def __init__(self, parameter: "Parameter", coeff: float = 1.0, offset: float = 0.0):
+        self.parameter = parameter
+        self.coeff = float(coeff)
+        self.offset = float(offset)
+
+    def bind(self, values: Mapping["Parameter", float]) -> float:
+        """Evaluate the expression given concrete parameter values."""
+        if self.parameter not in values:
+            raise KeyError(f"no value bound for parameter {self.parameter.name!r}")
+        return self.coeff * float(values[self.parameter]) + self.offset
+
+    def __mul__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self.parameter, self.coeff * other, self.offset * other)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "ParameterExpression":
+        return self * -1.0
+
+    def __add__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self.parameter, self.coeff, self.offset + other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "ParameterExpression":
+        return self + (-other)
+
+    def __repr__(self) -> str:
+        return f"{self.coeff}*{self.parameter.name} + {self.offset}"
+
+
+class Parameter(ParameterExpression):
+    """A named symbolic parameter.
+
+    Identity (not name) determines equality, so two ansatz instances can
+    reuse the same parameter names without colliding.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._uid = next(_COUNTER)
+        super().__init__(self, 1.0, 0.0)
+
+    def bind(self, values: Mapping["Parameter", float]) -> float:
+        if self not in values:
+            raise KeyError(f"no value bound for parameter {self.name!r}")
+        return float(values[self])
+
+    def __hash__(self) -> int:
+        return hash(self._uid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r})"
+
+
+class ParameterVector:
+    """An ordered collection of parameters sharing a base name."""
+
+    def __init__(self, name: str, length: int):
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self.name = name
+        self._params: List[Parameter] = [
+            Parameter(f"{name}[{index}]") for index in range(length)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._params)
+
+    def __getitem__(self, index: int) -> Parameter:
+        return self._params[index]
+
+    def bind_array(self, values) -> Dict[Parameter, float]:
+        """Zip the vector against an array of concrete values."""
+        values = list(values)
+        if len(values) != len(self._params):
+            raise ValueError(
+                f"expected {len(self._params)} values, got {len(values)}"
+            )
+        return dict(zip(self._params, map(float, values)))
+
+    def __repr__(self) -> str:
+        return f"ParameterVector({self.name!r}, {len(self)})"

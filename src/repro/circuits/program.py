@@ -1,0 +1,113 @@
+"""Compiled circuit programs for fast repeated evaluation.
+
+A VQE run evaluates the same ansatz thousands of times with different
+parameter values. Re-binding :class:`QuantumCircuit` objects per call would
+dominate runtime, so a circuit compiles once into a flat list of
+:class:`ProgramOp` records. Fixed-angle gates pre-compute their matrices;
+parameterized rotations record ``(coeff, offset, parameter index)`` and
+rebuild their 2x2 matrix from the parameter array at execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATES
+from repro.circuits.parameter import Parameter, ParameterExpression
+
+
+@dataclass(frozen=True)
+class ProgramOp:
+    """One executable operation.
+
+    ``matrix`` is set for fixed gates. Parameterized single-parameter gates
+    set ``gate_name`` plus the affine map ``angle = coeff * theta[param_index]
+    + offset`` and rebuild the matrix per evaluation.
+    """
+
+    qubits: Tuple[int, ...]
+    matrix: Optional[np.ndarray]
+    gate_name: Optional[str] = None
+    param_index: int = -1
+    coeff: float = 1.0
+    offset: float = 0.0
+
+
+class CompiledProgram:
+    """A parameter-array-callable form of a circuit."""
+
+    def __init__(self, num_qubits: int, ops: List[ProgramOp], parameters: Tuple[Parameter, ...]):
+        self.num_qubits = num_qubits
+        self.ops = ops
+        self.parameters = parameters
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    def op_matrices(self, theta: Sequence[float]) -> List[Tuple[Tuple[int, ...], np.ndarray]]:
+        """Materialize the gate list for a parameter vector."""
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (self.num_parameters,):
+            raise ValueError(
+                f"expected {self.num_parameters} parameters, got shape {theta.shape}"
+            )
+        out: List[Tuple[Tuple[int, ...], np.ndarray]] = []
+        for op in self.ops:
+            if op.matrix is not None:
+                out.append((op.qubits, op.matrix))
+            else:
+                angle = op.coeff * theta[op.param_index] + op.offset
+                out.append((op.qubits, GATES[op.gate_name].matrix((angle,))))
+        return out
+
+
+def compile_circuit(
+    circuit: QuantumCircuit, parameters: Optional[Sequence[Parameter]] = None
+) -> CompiledProgram:
+    """Compile a circuit against an explicit parameter ordering.
+
+    ``parameters`` defaults to the circuit's first-appearance order; ansatz
+    classes pass their canonical ordering explicitly.
+    """
+    if parameters is None:
+        parameters = circuit.parameters
+    parameters = tuple(parameters)
+    index_of = {param: i for i, param in enumerate(parameters)}
+
+    ops: List[ProgramOp] = []
+    for inst in circuit:
+        if inst.name == "barrier":
+            continue
+        spec = GATES[inst.name]
+        if not inst.is_parameterized:
+            matrix = spec.matrix(tuple(float(p) for p in inst.params))
+            ops.append(ProgramOp(inst.qubits, matrix))
+            continue
+        if spec.num_params != 1:
+            raise ValueError(
+                f"parameterized gate {inst.name!r} with {spec.num_params} params "
+                "is not supported in compiled programs; bind it first"
+            )
+        expr = inst.params[0]
+        if not isinstance(expr, ParameterExpression):
+            raise TypeError("expected a ParameterExpression")
+        if expr.parameter not in index_of:
+            raise KeyError(
+                f"parameter {expr.parameter.name!r} missing from parameter ordering"
+            )
+        ops.append(
+            ProgramOp(
+                inst.qubits,
+                None,
+                gate_name=inst.name,
+                param_index=index_of[expr.parameter],
+                coeff=expr.coeff,
+                offset=expr.offset,
+            )
+        )
+    return CompiledProgram(circuit.num_qubits, ops, parameters)

@@ -1,0 +1,41 @@
+"""QISMET: Quantum Iteration Skipping to Mitigate Error Transients.
+
+The paper's contribution, in three pieces (paper Section 5):
+
+1. :mod:`~repro.core.estimator` — transient estimation from the rerun of
+   the previous iteration's circuit (``Tm``, ``Ep``, ``Gm``, ``Gp``);
+2. :mod:`~repro.core.controller` + :mod:`~repro.core.policies` — the
+   gradient-faithful controller accepting an iteration only when machine
+   and predicted transient-free gradients agree in direction (Fig. 9),
+   with a retry budget;
+3. :mod:`~repro.core.thresholds` — percentile-based error-threshold
+   calibration ("90p" skips at most ~10 % of iterations).
+"""
+
+from repro.core.estimator import TransientEstimate, estimate_transient
+from repro.core.thresholds import (
+    FixedThreshold,
+    OnlinePercentileThreshold,
+    TraceCalibratedThreshold,
+)
+from repro.core.policies import (
+    AlwaysAcceptPolicy,
+    CFARPolicy,
+    GradientFaithfulPolicy,
+    OnlyTransientsPolicy,
+)
+from repro.core.controller import ControllerDecision, QismetController
+
+__all__ = [
+    "TransientEstimate",
+    "estimate_transient",
+    "FixedThreshold",
+    "OnlinePercentileThreshold",
+    "TraceCalibratedThreshold",
+    "AlwaysAcceptPolicy",
+    "GradientFaithfulPolicy",
+    "OnlyTransientsPolicy",
+    "CFARPolicy",
+    "ControllerDecision",
+    "QismetController",
+]

@@ -1,0 +1,113 @@
+"""The QISMET controller (the 'C' triangles of the paper's Fig. 7).
+
+Combines a skip policy, a threshold provider, a retry budget and a *skip
+budget* into the per-iteration accept/retry decision. The paper's "90p"
+setting means "the error threshold is set so as to skip at most 10 % of
+the iterations" (Section 6.3) — implemented here directly as a running
+skip-fraction budget, with the energy threshold handling the orthogonal
+"always accept small swings" region of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.core.estimator import TransientEstimate
+from repro.core.policies import GradientFaithfulPolicy, SkipPolicy
+from repro.core.thresholds import RobustNoiseThreshold, ThresholdProvider
+
+
+class ControllerDecision(Enum):
+    ACCEPT = "accept"
+    RETRY = "retry"
+    FORCED_ACCEPT = "forced_accept"  # retry budget exhausted (Section 8.1)
+    BUDGET_ACCEPT = "budget_accept"  # skip budget exhausted (Section 6.3)
+
+
+@dataclass
+class ControllerStats:
+    decisions: int = 0
+    first_attempts: int = 0
+    retries: int = 0
+    forced_accepts: int = 0
+    budget_accepts: int = 0
+    skipped_iterations: int = 0  # iterations that entered at least one retry
+    tm_history: List[float] = field(default_factory=list)
+
+    @property
+    def skip_fraction(self) -> float:
+        """Fraction of first-attempt decisions that triggered a skip."""
+        if self.first_attempts == 0:
+            return 0.0
+        return self.skipped_iterations / self.first_attempts
+
+
+class QismetController:
+    """Accept/retry decisions for VQA iterations.
+
+    ``retry_budget`` bounds consecutive retries of one iteration (the
+    paper fixes it to 5; Section 8.1 discusses the trade-off: large enough
+    to outlast short transients, small enough to adapt quickly to lasting
+    device changes such as recalibration). ``max_skip_fraction`` bounds
+    the long-run fraction of iterations that may be skipped (0.10 for the
+    paper's best "90p" setting).
+    """
+
+    def __init__(
+        self,
+        policy: Optional[SkipPolicy] = None,
+        threshold: Optional[ThresholdProvider] = None,
+        retry_budget: int = 5,
+        max_skip_fraction: float = 0.10,
+        warmup_decisions: int = 8,
+    ):
+        if retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if not 0.0 <= max_skip_fraction <= 1.0:
+            raise ValueError("max_skip_fraction must be in [0, 1]")
+        self.policy = policy if policy is not None else GradientFaithfulPolicy()
+        self.threshold = (
+            threshold if threshold is not None else RobustNoiseThreshold()
+        )
+        self.retry_budget = retry_budget
+        self.max_skip_fraction = max_skip_fraction
+        self.warmup_decisions = warmup_decisions
+        self.stats = ControllerStats()
+
+    def _skip_budget_available(self) -> bool:
+        if self.stats.first_attempts < self.warmup_decisions:
+            return False
+        projected = (self.stats.skipped_iterations + 1) / self.stats.first_attempts
+        return projected <= self.max_skip_fraction
+
+    def decide(
+        self, estimate: TransientEstimate, retries_so_far: int
+    ) -> ControllerDecision:
+        """Judge one candidate evaluation.
+
+        Only first attempts feed the threshold calibrator: retries
+        re-measure the same transient and would double-count it, biasing
+        the noise-floor estimate upward.
+        """
+        self.stats.decisions += 1
+        first_attempt = retries_so_far == 0
+        if first_attempt:
+            self.stats.first_attempts += 1
+            self.stats.tm_history.append(estimate.tm)
+            self.threshold.observe(abs(estimate.tm))
+        tau = self.threshold.current()
+
+        if self.policy.accepts(estimate, tau):
+            return ControllerDecision.ACCEPT
+        if first_attempt and not self._skip_budget_available():
+            self.stats.budget_accepts += 1
+            return ControllerDecision.BUDGET_ACCEPT
+        if retries_so_far >= self.retry_budget:
+            self.stats.forced_accepts += 1
+            return ControllerDecision.FORCED_ACCEPT
+        if first_attempt:
+            self.stats.skipped_iterations += 1
+        self.stats.retries += 1
+        return ControllerDecision.RETRY

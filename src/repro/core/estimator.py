@@ -1,0 +1,69 @@
+"""Transient estimation (paper Section 5.1, Fig. 8).
+
+Given the previous iteration's original energy ``Em(i)``, its rerun inside
+the current job ``EmR(i)``, and the current candidate's energy
+``Em(i+1)``, QISMET computes:
+
+* ``Tm(i+1) = EmR(i) - Em(i)``       — estimated transient error,
+* ``Gm(i+1) = Em(i+1) - Em(i)``      — machine (perceived) gradient,
+* ``Ep(i+1) = Em(i+1) - Tm(i+1)``    — predicted transient-free energy,
+* ``Gp(i+1) = Ep(i+1) - Em(i)``      — predicted transient-free gradient.
+
+The underlying assumption — the transient affecting the rerun equals the
+one affecting the candidate — holds because both circuits execute inside
+the same job (the previous iteration is "the closest possible reference
+circuit").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransientEstimate:
+    """All per-iteration quantities the QISMET controller consumes."""
+
+    em_prev: float
+    em_rerun: float
+    em_new: float
+
+    @property
+    def tm(self) -> float:
+        """Estimated transient error on the current job."""
+        return self.em_rerun - self.em_prev
+
+    @property
+    def gm(self) -> float:
+        """Machine-observed gradient (what a traditional tuner sees)."""
+        return self.em_new - self.em_prev
+
+    @property
+    def ep(self) -> float:
+        """Predicted transient-free energy of the candidate."""
+        return self.em_new - self.tm
+
+    @property
+    def gp(self) -> float:
+        """Predicted transient-free gradient."""
+        return self.ep - self.em_prev
+
+    @property
+    def gradients_agree(self) -> bool:
+        """True when Gm and Gp point in the same direction (Fig. 9 a/b/d/e).
+
+        Zero gradients count as agreement: a flat estimate cannot flip a
+        configuration between perceived-good and perceived-bad.
+        """
+        return self.gm * self.gp >= 0.0
+
+    def within_threshold(self, tau: float) -> bool:
+        """Both swings inside the always-accept region (Fig. 9, shaded)."""
+        return abs(self.gm) <= tau and abs(self.gp) <= tau
+
+
+def estimate_transient(
+    em_prev: float, em_rerun: float, em_new: float
+) -> TransientEstimate:
+    """Convenience constructor matching the paper's notation order."""
+    return TransientEstimate(em_prev=em_prev, em_rerun=em_rerun, em_new=em_new)

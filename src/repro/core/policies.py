@@ -1,0 +1,90 @@
+"""Skip policies: how a controller judges one iteration.
+
+:class:`GradientFaithfulPolicy` is QISMET's (Fig. 9). The others are the
+paper's comparison points: :class:`OnlyTransientsPolicy` (Section 5.3 /
+Fig. 15, shown to be counterproductive) and :class:`AlwaysAcceptPolicy`
+(the baseline). :class:`CFARPolicy` implements the constant-false-alarm-
+rate detector the paper mentions in Section 8.4.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+import numpy as np
+
+from repro.core.estimator import TransientEstimate
+
+
+class SkipPolicy:
+    """Protocol: ``accepts(estimate, tau) -> bool``."""
+
+    def accepts(self, estimate: TransientEstimate, tau: float) -> bool:
+        raise NotImplementedError
+
+
+class AlwaysAcceptPolicy(SkipPolicy):
+    """The traditional VQA baseline: never skip."""
+
+    def accepts(self, estimate: TransientEstimate, tau: float) -> bool:
+        return True
+
+
+class GradientFaithfulPolicy(SkipPolicy):
+    """QISMET's controller logic (paper Fig. 9).
+
+    Accept when the machine gradient ``Gm`` and the predicted
+    transient-free gradient ``Gp`` agree in direction (cases a/b/d/e), or
+    when both swings lie inside the always-accept threshold region.
+    Reject exactly the direction-flipping cases (c) and (f) whose swing
+    exceeds the threshold.
+    """
+
+    def accepts(self, estimate: TransientEstimate, tau: float) -> bool:
+        if estimate.gradients_agree:
+            return True
+        return estimate.within_threshold(tau)
+
+
+class OnlyTransientsPolicy(SkipPolicy):
+    """Skip whenever the estimated transient magnitude exceeds a threshold.
+
+    The "intuitive alternative" of Section 5.3: reject iff
+    ``|Tm| > tau`` regardless of gradient directions. The paper (and our
+    Fig. 15 bench) shows this is worse than the baseline because it also
+    skips transients that are *constructive* to VQA progress.
+    """
+
+    def accepts(self, estimate: TransientEstimate, tau: float) -> bool:
+        return abs(estimate.tm) <= tau
+
+
+class CFARPolicy(SkipPolicy):
+    """Cell-averaging constant-false-alarm-rate transient detector.
+
+    Maintains a sliding window of recent |Tm| values as the noise-floor
+    estimate; flags a transient (and skips) when the current |Tm| exceeds
+    ``alarm_factor`` times the floor. Like the Kalman filter, it judges
+    only magnitudes, not gradient direction, so it shares the
+    only-transients weakness.
+    """
+
+    def __init__(self, window: int = 24, alarm_factor: float = 4.0):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if alarm_factor <= 1.0:
+            raise ValueError("alarm_factor must exceed 1")
+        self.window = window
+        self.alarm_factor = alarm_factor
+        self._history: Deque[float] = deque(maxlen=window)
+
+    def accepts(self, estimate: TransientEstimate, tau: float) -> bool:
+        magnitude = abs(estimate.tm)
+        floor = float(np.mean(self._history)) if self._history else 0.0
+        self._history.append(magnitude)
+        if len(self._history) < self.window // 2:
+            return True  # warm-up: no reliable noise floor yet
+        if floor <= 0.0:
+            return True
+        return magnitude <= self.alarm_factor * floor

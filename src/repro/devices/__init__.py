@@ -1,0 +1,14 @@
+"""Fake-device models standing in for the paper's IBMQ machines."""
+
+from repro.devices.coupling import CouplingMap
+from repro.devices.calibration import CalibrationSnapshot
+from repro.devices.device import DeviceModel
+from repro.devices.ibmq_fake import available_machines, get_device
+
+__all__ = [
+    "CouplingMap",
+    "CalibrationSnapshot",
+    "DeviceModel",
+    "available_machines",
+    "get_device",
+]

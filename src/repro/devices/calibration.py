@@ -1,0 +1,96 @@
+"""Per-qubit calibration snapshots.
+
+Real IBMQ machines publish calibration data roughly once a day (the paper
+notes this coarse granularity is exactly why static noise models miss
+transients). A :class:`CalibrationSnapshot` is one such publication;
+:meth:`refresh` produces the next day's snapshot with small correlated
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class CalibrationSnapshot:
+    """One calibration cycle's worth of device parameters."""
+
+    t1_us: np.ndarray
+    t2_us: np.ndarray
+    single_qubit_errors: np.ndarray
+    two_qubit_errors: np.ndarray
+    readout_errors: np.ndarray
+    cycle: int = 0
+
+    def __post_init__(self) -> None:
+        n = self.t1_us.size
+        for name in ("t2_us", "single_qubit_errors", "readout_errors"):
+            if getattr(self, name).size != n:
+                raise ValueError(f"{name} length mismatch")
+        if np.any(self.t2_us > 2 * self.t1_us + 1e-9):
+            raise ValueError("calibration violates T2 <= 2*T1")
+
+    @property
+    def num_qubits(self) -> int:
+        return int(self.t1_us.size)
+
+    @classmethod
+    def generate(
+        cls,
+        num_qubits: int,
+        num_couplers: int,
+        seed: int,
+        t1_mean_us: float = 90.0,
+        single_error_mean: float = 3e-4,
+        two_error_mean: float = 8e-3,
+        readout_error_mean: float = 2e-2,
+    ) -> "CalibrationSnapshot":
+        """Generate a plausible calibration with device-like spread."""
+        rng = derive_rng(seed, "calibration")
+        t1 = rng.gamma(shape=12.0, scale=t1_mean_us / 12.0, size=num_qubits)
+        t2 = np.minimum(
+            2.0 * t1, t1 * rng.uniform(0.6, 1.6, size=num_qubits)
+        )
+        singles = rng.gamma(4.0, single_error_mean / 4.0, size=num_qubits)
+        twos = rng.gamma(4.0, two_error_mean / 4.0, size=max(1, num_couplers))
+        readout = rng.gamma(4.0, readout_error_mean / 4.0, size=num_qubits)
+        return cls(
+            t1_us=t1,
+            t2_us=t2,
+            single_qubit_errors=np.clip(singles, 1e-5, 0.05),
+            two_qubit_errors=np.clip(twos, 1e-4, 0.15),
+            readout_errors=np.clip(readout, 1e-3, 0.2),
+            cycle=0,
+        )
+
+    def refresh(self, seed: int) -> "CalibrationSnapshot":
+        """The next calibration cycle: each parameter drifts a few percent."""
+        rng = derive_rng(seed, f"recal:{self.cycle + 1}")
+
+        def drift(values: np.ndarray, scale: float) -> np.ndarray:
+            return values * np.exp(rng.normal(0.0, scale, size=values.shape))
+
+        t1 = drift(self.t1_us, 0.08)
+        t2 = np.minimum(2.0 * t1, drift(self.t2_us, 0.08))
+        return CalibrationSnapshot(
+            t1_us=t1,
+            t2_us=t2,
+            single_qubit_errors=np.clip(
+                drift(self.single_qubit_errors, 0.10), 1e-5, 0.05
+            ),
+            two_qubit_errors=np.clip(drift(self.two_qubit_errors, 0.10), 1e-4, 0.15),
+            readout_errors=np.clip(drift(self.readout_errors, 0.10), 1e-3, 0.2),
+            cycle=self.cycle + 1,
+        )
+
+    def mean_two_qubit_error(self) -> float:
+        return float(np.mean(self.two_qubit_errors))
+
+    def mean_single_qubit_error(self) -> float:
+        return float(np.mean(self.single_qubit_errors))

@@ -1,0 +1,126 @@
+"""Qubit connectivity graphs."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+
+class CouplingMap:
+    """An undirected qubit-connectivity graph with routing helpers."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[Tuple[int, int]]):
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        self.num_qubits = num_qubits
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_qubits))
+        for a, b in edges:
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise ValueError(f"edge ({a}, {b}) out of range")
+            if a == b:
+                raise ValueError("self-loops are not allowed")
+            graph.add_edge(a, b)
+        self.graph = graph
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        return sorted((min(a, b), max(a, b)) for a, b in self.graph.edges())
+
+    def are_connected(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def distance(self, a: int, b: int) -> int:
+        return int(nx.shortest_path_length(self.graph, a, b))
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        return list(nx.shortest_path(self.graph, a, b))
+
+    def neighbors(self, qubit: int) -> List[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def is_connected_graph(self) -> bool:
+        return nx.is_connected(self.graph)
+
+    def best_linear_chain(self, length: int) -> List[int]:
+        """Find a simple path of ``length`` qubits (for linear ansatz layout).
+
+        Greedy DFS over simple paths; raises if the device cannot host a
+        chain that long.
+        """
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        if length == 1:
+            return [0]
+        for start in range(self.num_qubits):
+            path = self._extend_chain([start], length)
+            if path is not None:
+                return path
+        raise ValueError(f"no simple path of length {length} in coupling map")
+
+    def _extend_chain(self, path: List[int], length: int):
+        if len(path) == length:
+            return path
+        for neighbor in self.neighbors(path[-1]):
+            if neighbor in path:
+                continue
+            result = self._extend_chain(path + [neighbor], length)
+            if result is not None:
+                return result
+        return None
+
+    def __repr__(self) -> str:
+        return f"CouplingMap(qubits={self.num_qubits}, edges={len(self.edges)})"
+
+
+def line_map(num_qubits: int) -> CouplingMap:
+    return CouplingMap(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)])
+
+
+def ring_map(num_qubits: int) -> CouplingMap:
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return CouplingMap(num_qubits, edges)
+
+
+def grid_map(rows: int, cols: int) -> CouplingMap:
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return CouplingMap(rows * cols, edges)
+
+
+# IBM heavy-hex style layouts. These reproduce the real devices'
+# connectivity (7-qubit Falcon r5.11H "H" shape; 16-qubit Falcon r4P
+# Guadalupe; 27-qubit Falcon r4/r5 used for Toronto/Sydney/Mumbai/Cairo).
+
+FALCON_7Q_EDGES = [(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)]
+
+FALCON_16Q_EDGES = [
+    (0, 1), (1, 2), (2, 3), (3, 5), (4, 1), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14),
+]
+
+FALCON_27Q_EDGES = [
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20),
+    (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+]
+
+
+def falcon_map(num_qubits: int) -> CouplingMap:
+    """Heavy-hex coupling map for the supported Falcon sizes."""
+    if num_qubits == 7:
+        return CouplingMap(7, FALCON_7Q_EDGES)
+    if num_qubits == 16:
+        return CouplingMap(16, FALCON_16Q_EDGES)
+    if num_qubits == 27:
+        return CouplingMap(27, FALCON_27Q_EDGES)
+    raise ValueError("falcon maps are defined for 7, 16 and 27 qubits")

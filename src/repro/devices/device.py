@@ -1,0 +1,80 @@
+"""The device model tying together connectivity, calibration and
+transient behaviour."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.calibration import CalibrationSnapshot
+from repro.devices.coupling import CouplingMap
+from repro.noise.noise_model import NoiseModel
+from repro.noise.readout import ReadoutError
+from repro.noise.transient.trace import TransientTrace
+from repro.noise.transient.trace_generator import (
+    TransientProfile,
+    generate_trace,
+)
+
+
+@dataclass
+class DeviceModel:
+    """A fake quantum machine.
+
+    Combines a coupling map, a calibration snapshot (the "static" noise the
+    paper's baseline techniques see) and a transient profile (the dynamic
+    part QISMET targets).
+    """
+
+    name: str
+    coupling_map: CouplingMap
+    calibration: CalibrationSnapshot
+    transient_profile: TransientProfile
+    basis_gates: tuple = ("rz", "sx", "x", "cx")
+
+    @property
+    def num_qubits(self) -> int:
+        return self.coupling_map.num_qubits
+
+    def noise_model(self) -> NoiseModel:
+        """Static noise model from current calibration averages."""
+        return NoiseModel(
+            single_qubit_error=self.calibration.mean_single_qubit_error(),
+            two_qubit_error=self.calibration.mean_two_qubit_error(),
+        )
+
+    def readout_error(self) -> ReadoutError:
+        probs = self.calibration.readout_errors
+        return ReadoutError(probs, probs)
+
+    def transient_trace(
+        self, length: int, seed: int, trial: str = "v1",
+        magnitude_scale: float = 1.0,
+    ) -> TransientTrace:
+        """Generate this machine's transient trace for a run."""
+        profile = self.transient_profile
+        if magnitude_scale != 1.0:
+            profile = profile.scaled(magnitude_scale)
+        return generate_trace(
+            profile, length, seed, machine=self.name, trial=trial
+        )
+
+    def recalibrate(self, seed: int) -> "DeviceModel":
+        """A new device model after one calibration cycle."""
+        return DeviceModel(
+            name=self.name,
+            coupling_map=self.coupling_map,
+            calibration=self.calibration.refresh(seed),
+            transient_profile=self.transient_profile,
+            basis_gates=self.basis_gates,
+        )
+
+    def mean_t1_us(self) -> float:
+        return float(np.mean(self.calibration.t1_us))
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceModel({self.name!r}, qubits={self.num_qubits}, "
+            f"cycle={self.calibration.cycle})"
+        )

@@ -1,0 +1,71 @@
+"""Fake versions of the IBMQ machines used in the paper.
+
+Connectivity matches the real devices (heavy-hex Falcon layouts);
+calibration values are generated with per-machine error scales chosen so
+relative machine quality follows the paper's observations; transient
+profiles come from ``repro.noise.transient.trace_generator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.devices.calibration import CalibrationSnapshot
+from repro.devices.coupling import falcon_map
+from repro.devices.device import DeviceModel
+from repro.noise.transient.trace_generator import profile_for_machine
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class _MachineSpec:
+    name: str
+    num_qubits: int
+    t1_mean_us: float
+    single_error_mean: float
+    two_error_mean: float
+    readout_error_mean: float
+
+
+_SPECS: Dict[str, _MachineSpec] = {
+    spec.name: spec
+    for spec in [
+        _MachineSpec("guadalupe", 16, 95.0, 3.0e-4, 9.0e-3, 2.0e-2),
+        _MachineSpec("toronto", 27, 100.0, 3.5e-4, 1.2e-2, 3.0e-2),
+        _MachineSpec("sydney", 27, 110.0, 3.0e-4, 1.0e-2, 2.5e-2),
+        _MachineSpec("casablanca", 7, 85.0, 4.0e-4, 1.1e-2, 3.0e-2),
+        _MachineSpec("jakarta", 7, 120.0, 3.5e-4, 9.5e-3, 2.5e-2),
+        _MachineSpec("mumbai", 27, 115.0, 3.0e-4, 8.5e-3, 2.2e-2),
+        _MachineSpec("cairo", 27, 100.0, 3.0e-4, 9.0e-3, 2.4e-2),
+    ]
+}
+
+
+def available_machines() -> List[str]:
+    """Names of all fake machines (all machines used in the paper)."""
+    return sorted(_SPECS)
+
+
+def get_device(name: str, calibration_seed: int = 2023) -> DeviceModel:
+    """Build a fake device by machine name (case-insensitive)."""
+    key = name.lower()
+    if key not in _SPECS:
+        raise KeyError(f"unknown machine {name!r}; known: {available_machines()}")
+    spec = _SPECS[key]
+    coupling = falcon_map(spec.num_qubits)
+    calibration = CalibrationSnapshot.generate(
+        num_qubits=spec.num_qubits,
+        num_couplers=len(coupling.edges),
+        seed=derive_seed(calibration_seed, f"cal:{key}"),
+        t1_mean_us=spec.t1_mean_us,
+        single_error_mean=spec.single_error_mean,
+        two_error_mean=spec.two_error_mean,
+        readout_error_mean=spec.readout_error_mean,
+    )
+    return DeviceModel(
+        name=key,
+        coupling_map=coupling,
+        calibration=calibration,
+        transient_profile=profile_for_machine(key),
+    )

@@ -1,0 +1,27 @@
+"""Experiment scale configuration.
+
+Paper-scale runs (2000 SPSA iterations x 6 apps x 5 schemes) take a while;
+by default benchmarks run a reduced, shape-preserving scale. Set
+``REPRO_FULL=1`` to reproduce the paper's iteration counts exactly.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def is_full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+
+def default_iterations(paper_scale: int, reduced_scale: int = None) -> int:
+    """Pick the iteration count for an experiment.
+
+    ``reduced_scale`` defaults to ``paper_scale // 5`` bounded to at least
+    120 iterations so convergence shape is still visible.
+    """
+    if is_full_scale():
+        return paper_scale
+    if reduced_scale is not None:
+        return reduced_scale
+    return max(120, paper_scale // 5)

@@ -1,0 +1,84 @@
+"""The paper's Table 1: TFIM VQA applications for simulation.
+
+| App  | Qubits | Ansatz | Reps | Machine + trial |
+|------|--------|--------|------|-----------------|
+| App1 | 6      | SU2    | 2    | Toronto (v1)    |
+| App2 | 6      | RA     | 4    | Guadalupe (v1)  |
+| App3 | 6      | RA     | 4    | Guadalupe (v2)  |
+| App4 | 6      | SU2    | 4    | Toronto (v2)    |
+| App5 | 6      | RA     | 8    | Cairo (v1)      |
+| App6 | 6      | RA     | 8    | Casablanca (v1) |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.ansatz.base import Ansatz
+from repro.ansatz.efficient_su2 import EfficientSU2
+from repro.ansatz.real_amplitudes import RealAmplitudes
+from repro.devices.device import DeviceModel
+from repro.devices.ibmq_fake import get_device
+from repro.hamiltonians.tfim import tfim_exact_ground_energy, tfim_hamiltonian
+from repro.noise.transient.trace import TransientTrace
+from repro.operators.pauli_sum import PauliSum
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class AppConfig:
+    """One Table 1 row."""
+
+    name: str
+    num_qubits: int
+    ansatz_kind: str  # "SU2" or "RA"
+    reps: int
+    machine: str
+    trial: str
+
+    def build_ansatz(self) -> Ansatz:
+        if self.ansatz_kind == "SU2":
+            return EfficientSU2(self.num_qubits, reps=self.reps)
+        if self.ansatz_kind == "RA":
+            return RealAmplitudes(self.num_qubits, reps=self.reps)
+        raise ValueError(f"unknown ansatz kind {self.ansatz_kind!r}")
+
+    def build_hamiltonian(self) -> PauliSum:
+        return tfim_hamiltonian(self.num_qubits, coupling=1.0, field=1.0)
+
+    def ground_truth_energy(self) -> float:
+        return tfim_exact_ground_energy(self.num_qubits, coupling=1.0, field=1.0)
+
+    def build_device(self) -> DeviceModel:
+        return get_device(self.machine)
+
+    def build_trace(self, length: int, seed: int = 2023) -> TransientTrace:
+        """The application's transient trace; trial v2 uses an independent
+        seed stream from v1 (same machine, different observation window)."""
+        device = self.build_device()
+        trace_seed = derive_seed(seed, f"trace:{self.machine}:{self.trial}")
+        return device.transient_trace(length, trace_seed, trial=self.trial)
+
+
+APPLICATIONS: Dict[str, AppConfig] = {
+    app.name: app
+    for app in [
+        AppConfig("App1", 6, "SU2", 2, "toronto", "v1"),
+        AppConfig("App2", 6, "RA", 4, "guadalupe", "v1"),
+        AppConfig("App3", 6, "RA", 4, "guadalupe", "v2"),
+        AppConfig("App4", 6, "SU2", 4, "toronto", "v2"),
+        AppConfig("App5", 6, "RA", 8, "cairo", "v1"),
+        AppConfig("App6", 6, "RA", 8, "casablanca", "v1"),
+    ]
+}
+
+
+def get_app(name: str) -> AppConfig:
+    if name not in APPLICATIONS:
+        raise KeyError(f"unknown app {name!r}; known: {sorted(APPLICATIONS)}")
+    return APPLICATIONS[name]
+
+
+def app_names() -> List[str]:
+    return [f"App{i}" for i in range(1, 7)]

@@ -1,0 +1,6 @@
+"""Classical filtering baselines (paper Sections 5.3, 7.4, 8.4)."""
+
+from repro.filtering.kalman import KalmanFilter1D, KalmanFilteredBackend
+from repro.filtering.cfar import cfar_detect
+
+__all__ = ["KalmanFilter1D", "KalmanFilteredBackend", "cfar_detect"]

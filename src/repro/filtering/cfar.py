@@ -1,0 +1,46 @@
+"""Cell-averaging CFAR detection over a series (paper Section 8.4).
+
+Classic radar-style detector: for each cell, estimate the noise floor from
+surrounding training cells (excluding adjacent guard cells) and flag the
+cell if it exceeds ``alarm_factor`` times the floor. Used in tests and
+ablations to contrast magnitude-threshold detection with QISMET's
+gradient-faithful criterion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cfar_detect(
+    series,
+    train_cells: int = 8,
+    guard_cells: int = 2,
+    alarm_factor: float = 4.0,
+) -> np.ndarray:
+    """Return a boolean detection mask over ``series``.
+
+    ``train_cells``/``guard_cells`` count cells on *each side* of the cell
+    under test.
+    """
+    values = np.abs(np.asarray(series, dtype=float))
+    if train_cells < 1:
+        raise ValueError("train_cells must be >= 1")
+    if guard_cells < 0:
+        raise ValueError("guard_cells must be >= 0")
+    if alarm_factor <= 0:
+        raise ValueError("alarm_factor must be positive")
+    n = values.size
+    detections = np.zeros(n, dtype=bool)
+    for i in range(n):
+        lo_start = max(0, i - guard_cells - train_cells)
+        lo_end = max(0, i - guard_cells)
+        hi_start = min(n, i + guard_cells + 1)
+        hi_end = min(n, i + guard_cells + 1 + train_cells)
+        training = np.concatenate([values[lo_start:lo_end], values[hi_start:hi_end]])
+        if training.size == 0:
+            continue
+        floor = float(np.mean(training))
+        if floor > 0 and values[i] > alarm_factor * floor:
+            detections[i] = True
+    return detections

@@ -1,0 +1,19 @@
+"""Problem Hamiltonians: TFIM (the paper's primary workload), Heisenberg
+XXZ and MaxCut (extensions), and the H2 molecule (re-exported from
+``repro.chemistry``)."""
+
+from repro.hamiltonians.tfim import tfim_exact_ground_energy, tfim_hamiltonian
+from repro.hamiltonians.heisenberg import heisenberg_hamiltonian
+from repro.hamiltonians.maxcut import maxcut_hamiltonian, maxcut_value
+from repro.chemistry.h2 import H2Problem, h2_hamiltonian, h2_problem
+
+__all__ = [
+    "tfim_hamiltonian",
+    "tfim_exact_ground_energy",
+    "heisenberg_hamiltonian",
+    "maxcut_hamiltonian",
+    "maxcut_value",
+    "H2Problem",
+    "h2_hamiltonian",
+    "h2_problem",
+]

@@ -1,0 +1,35 @@
+"""Heisenberg XXZ chain (extension workload beyond the paper's TFIM)."""
+
+from __future__ import annotations
+
+from repro.operators.pauli_sum import PauliSum
+
+
+def heisenberg_hamiltonian(
+    num_qubits: int,
+    jx: float = 1.0,
+    jy: float = 1.0,
+    jz: float = 1.0,
+    field: float = 0.0,
+    periodic: bool = False,
+) -> PauliSum:
+    """``H = sum_i (jx XX + jy YY + jz ZZ)_{i,i+1} + field * sum_i Z_i``."""
+    if num_qubits < 2:
+        raise ValueError("need at least two sites")
+    terms = []
+    bonds = num_qubits if periodic else num_qubits - 1
+    for i in range(bonds):
+        j = (i + 1) % num_qubits
+        for strength, pauli in ((jx, "X"), (jy, "Y"), (jz, "Z")):
+            if strength == 0.0:
+                continue
+            chars = ["I"] * num_qubits
+            chars[i] = pauli
+            chars[j] = pauli
+            terms.append((strength, "".join(chars)))
+    if field != 0.0:
+        for i in range(num_qubits):
+            chars = ["I"] * num_qubits
+            chars[i] = "Z"
+            terms.append((field, "".join(chars)))
+    return PauliSum(terms)

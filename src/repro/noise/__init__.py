@@ -1,0 +1,27 @@
+"""Noise modelling: Kraus channels, static device noise, readout error and
+mitigation, and the transient (time-varying) noise machinery that is the
+subject of the paper."""
+
+from repro.noise.channels import (
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    is_cptp,
+    phase_damping_kraus,
+    phase_flip_kraus,
+)
+from repro.noise.noise_model import GateError, NoiseModel
+from repro.noise.readout import ReadoutError, ReadoutMitigator
+
+__all__ = [
+    "depolarizing_kraus",
+    "amplitude_damping_kraus",
+    "phase_damping_kraus",
+    "bit_flip_kraus",
+    "phase_flip_kraus",
+    "is_cptp",
+    "GateError",
+    "NoiseModel",
+    "ReadoutError",
+    "ReadoutMitigator",
+]

@@ -1,0 +1,98 @@
+"""Standard single- and two-qubit Kraus channels."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def _check_probability(p: float, upper: float = 1.0) -> float:
+    p = float(p)
+    if not 0.0 <= p <= upper:
+        raise ValueError(f"probability {p} outside [0, {upper}]")
+    return p
+
+
+def depolarizing_kraus(probability: float, num_qubits: int = 1) -> List[np.ndarray]:
+    """Depolarizing channel on 1 or 2 qubits.
+
+    With probability ``p`` the state is replaced by the maximally mixed
+    state; Kraus form uses the uniform Pauli twirl.
+    """
+    p = _check_probability(probability)
+    if num_qubits == 1:
+        paulis = [_I, _X, _Y, _Z]
+    elif num_qubits == 2:
+        singles = [_I, _X, _Y, _Z]
+        paulis = [np.kron(a, b) for a in singles for b in singles]
+    else:
+        raise ValueError("depolarizing channel supports 1 or 2 qubits")
+    dim2 = len(paulis)
+    ops = [np.sqrt(1.0 - p * (dim2 - 1) / dim2) * paulis[0]]
+    ops.extend(np.sqrt(p / dim2) * pauli for pauli in paulis[1:])
+    return ops
+
+
+def amplitude_damping_kraus(gamma: float) -> List[np.ndarray]:
+    """T1 relaxation: |1> decays to |0> with probability ``gamma``."""
+    g = _check_probability(gamma)
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - g)]], dtype=complex)
+    k1 = np.array([[0, np.sqrt(g)], [0, 0]], dtype=complex)
+    return [k0, k1]
+
+
+def phase_damping_kraus(lam: float) -> List[np.ndarray]:
+    """Pure dephasing (T2 without relaxation)."""
+    p = _check_probability(lam)
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - p)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, np.sqrt(p)]], dtype=complex)
+    return [k0, k1]
+
+
+def bit_flip_kraus(probability: float) -> List[np.ndarray]:
+    p = _check_probability(probability)
+    return [np.sqrt(1 - p) * _I, np.sqrt(p) * _X]
+
+
+def phase_flip_kraus(probability: float) -> List[np.ndarray]:
+    p = _check_probability(probability)
+    return [np.sqrt(1 - p) * _I, np.sqrt(p) * _Z]
+
+
+def thermal_relaxation_kraus(
+    t1: float, t2: float, gate_time: float
+) -> List[np.ndarray]:
+    """Combined T1/T2 relaxation over a gate duration.
+
+    Valid for ``t2 <= 2 * t1``. Composed as amplitude damping with
+    ``gamma = 1 - exp(-t/T1)`` followed by extra pure dephasing so the
+    total coherence decay matches ``exp(-t/T2)``.
+    """
+    if t1 <= 0 or t2 <= 0:
+        raise ValueError("T1 and T2 must be positive")
+    if t2 > 2 * t1 + 1e-12:
+        raise ValueError("thermal relaxation requires T2 <= 2*T1")
+    gamma = 1.0 - np.exp(-gate_time / t1)
+    # Residual dephasing: total off-diagonal decay exp(-t/T2) must equal
+    # sqrt(1-gamma) * sqrt(1-lambda).
+    target = np.exp(-gate_time / t2)
+    residual = target / np.sqrt(1.0 - gamma) if gamma < 1.0 else 0.0
+    lam = max(0.0, min(1.0, 1.0 - residual**2))
+    damp = amplitude_damping_kraus(gamma)
+    dephase = phase_damping_kraus(lam)
+    return [d @ a for d in dephase for a in damp]
+
+
+def is_cptp(kraus_ops: List[np.ndarray], atol: float = 1e-9) -> bool:
+    """Check the trace-preservation condition ``sum K^dag K = I``."""
+    if not kraus_ops:
+        return False
+    dim = kraus_ops[0].shape[1]
+    total = sum(op.conj().T @ op for op in kraus_ops)
+    return bool(np.allclose(total, np.eye(dim), atol=atol))

@@ -1,0 +1,128 @@
+"""Readout error and measurement-error mitigation.
+
+The paper's baseline "employs measurement error mitigation"; we implement
+the standard tensored confusion-matrix approach: characterize per-qubit
+assignment errors, then correct measured count vectors by (pseudo-)inverse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class ReadoutError:
+    """Per-qubit assignment-error model.
+
+    ``p01[i]`` is the probability of reading 1 when qubit i is 0;
+    ``p10[i]`` of reading 0 when it is 1.
+    """
+
+    def __init__(self, p01: Sequence[float], p10: Sequence[float]):
+        self.p01 = np.asarray(p01, dtype=float)
+        self.p10 = np.asarray(p10, dtype=float)
+        if self.p01.shape != self.p10.shape or self.p01.ndim != 1:
+            raise ValueError("p01 and p10 must be equal-length vectors")
+        if np.any((self.p01 < 0) | (self.p01 > 1) | (self.p10 < 0) | (self.p10 > 1)):
+            raise ValueError("probabilities must lie in [0, 1]")
+
+    @property
+    def num_qubits(self) -> int:
+        return self.p01.size
+
+    @classmethod
+    def uniform(cls, num_qubits: int, probability: float) -> "ReadoutError":
+        return cls([probability] * num_qubits, [probability] * num_qubits)
+
+    def qubit_confusion(self, qubit: int) -> np.ndarray:
+        """2x2 column-stochastic matrix ``A[measured, true]``."""
+        return np.array(
+            [
+                [1.0 - self.p01[qubit], self.p10[qubit]],
+                [self.p01[qubit], 1.0 - self.p10[qubit]],
+            ]
+        )
+
+    def confusion_matrix(self) -> np.ndarray:
+        """Full 2**n x 2**n confusion matrix (kron of per-qubit blocks)."""
+        matrix = np.array([[1.0]])
+        for qubit in range(self.num_qubits):
+            matrix = np.kron(matrix, self.qubit_confusion(qubit))
+        return matrix
+
+    def apply_to_probabilities(self, probabilities: np.ndarray) -> np.ndarray:
+        """Noisy outcome distribution given true probabilities."""
+        probs = np.asarray(probabilities, dtype=float).reshape(-1)
+        if probs.size != 2**self.num_qubits:
+            raise ValueError("probability vector size mismatch")
+        return self.confusion_matrix() @ probs
+
+    def sample_flips(self, bits: str, rng: np.random.Generator) -> str:
+        """Apply assignment errors to a single measured bitstring."""
+        out = []
+        for qubit, bit in enumerate(bits):
+            if bit == "0":
+                flip = rng.random() < self.p01[qubit]
+                out.append("1" if flip else "0")
+            else:
+                flip = rng.random() < self.p10[qubit]
+                out.append("0" if flip else "1")
+        return "".join(out)
+
+    def corrupt_counts(
+        self, counts: Dict[str, int], seed: SeedLike = None
+    ) -> Dict[str, int]:
+        """Apply readout noise to ideal counts, shot by shot."""
+        rng = ensure_rng(seed)
+        noisy: Dict[str, int] = {}
+        for bits, count in counts.items():
+            for _ in range(count):
+                flipped = self.sample_flips(bits, rng)
+                noisy[flipped] = noisy.get(flipped, 0) + 1
+        return noisy
+
+
+class ReadoutMitigator:
+    """Confusion-matrix-inversion measurement-error mitigation."""
+
+    def __init__(self, error: ReadoutError):
+        self.error = error
+        self._inverse = np.linalg.pinv(error.confusion_matrix())
+
+    @property
+    def num_qubits(self) -> int:
+        return self.error.num_qubits
+
+    def mitigate_probabilities(self, probabilities: np.ndarray) -> np.ndarray:
+        """Invert the confusion matrix; clip and renormalize.
+
+        Clipping handles the usual small negative artifacts of direct
+        inversion (the paper's Qiskit baseline does the same).
+        """
+        probs = np.asarray(probabilities, dtype=float).reshape(-1)
+        corrected = self._inverse @ probs
+        corrected = np.clip(corrected, 0.0, None)
+        total = corrected.sum()
+        if total <= 0:
+            raise ValueError("mitigation produced an empty distribution")
+        return corrected / total
+
+    def mitigate_counts(self, counts: Dict[str, int]) -> Dict[str, float]:
+        """Mitigate counts into a corrected quasi-distribution."""
+        num_qubits = self.num_qubits
+        dim = 2**num_qubits
+        vector = np.zeros(dim)
+        total = sum(counts.values())
+        if total <= 0:
+            raise ValueError("counts are empty")
+        for bits, count in counts.items():
+            vector[int(bits, 2)] = count / total
+        corrected = self.mitigate_probabilities(vector)
+        return {
+            format(i, f"0{num_qubits}b"): float(p)
+            for i, p in enumerate(corrected)
+            if p > 0
+        }

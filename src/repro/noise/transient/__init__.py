@@ -1,0 +1,38 @@
+"""Transient (time-varying) noise modelling.
+
+This subpackage reproduces the paper's Section 6.2 methodology: transient
+effects on VQA iterations are captured as per-iteration fractional
+perturbations ("traces"), composed into a data structure that the
+transient-aware backend indexes per job, on top of static noise.
+
+Physical grounding (Section 3): TLS defects parasitically couple to
+transmon qubits and fluctuate over time, producing rare, large, short-lived
+dips in T1/T2 — hence the telegraph/spike process structure used by the
+trace generator.
+"""
+
+from repro.noise.transient.processes import (
+    GaussianJitterProcess,
+    OrnsteinUhlenbeckProcess,
+    SpikeProcess,
+    TelegraphProcess,
+)
+from repro.noise.transient.trace import TransientTrace
+from repro.noise.transient.trace_generator import (
+    TransientProfile,
+    generate_trace,
+    profile_for_machine,
+)
+from repro.noise.transient.t1_model import T1FluctuationModel
+
+__all__ = [
+    "TelegraphProcess",
+    "OrnsteinUhlenbeckProcess",
+    "SpikeProcess",
+    "GaussianJitterProcess",
+    "TransientTrace",
+    "TransientProfile",
+    "generate_trace",
+    "profile_for_machine",
+    "T1FluctuationModel",
+]

@@ -1,0 +1,159 @@
+"""Stochastic processes underlying transient noise traces.
+
+Each process produces a discrete-time sample path. The physically
+motivated building blocks are:
+
+* :class:`TelegraphProcess` — random telegraph noise from a single TLS
+  fluctuator hopping between two states (Schloer et al., cited by the
+  paper as [36]);
+* :class:`SpikeProcess` — Poisson-arriving transient events with
+  geometric durations and heavy-tailed magnitudes (the rare "outlier"
+  fluctuations circled in the paper's Fig. 3);
+* :class:`OrnsteinUhlenbeckProcess` — slow mean-reverting drift (thermal
+  and calibration drift);
+* :class:`GaussianJitterProcess` — iid small fluctuations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class TelegraphProcess:
+    """Two-state random telegraph noise.
+
+    The process occupies state 0 (quiet) or 1 (active) with exponential
+    dwell times; per discrete step, switching probabilities are
+    ``rate_up`` (0 -> 1) and ``rate_down`` (1 -> 0). Output is the state
+    times ``amplitude``.
+    """
+
+    rate_up: float
+    rate_down: float
+    amplitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name, value in (("rate_up", self.rate_up), ("rate_down", self.rate_down)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a per-step probability in [0, 1]")
+
+    def sample(self, length: int, seed: SeedLike = None) -> np.ndarray:
+        rng = ensure_rng(seed)
+        states = np.zeros(length)
+        state = 0
+        for i in range(length):
+            if state == 0 and rng.random() < self.rate_up:
+                state = 1
+            elif state == 1 and rng.random() < self.rate_down:
+                state = 0
+            states[i] = state
+        return states * self.amplitude
+
+    def stationary_occupancy(self) -> float:
+        """Long-run fraction of time in the active state."""
+        total = self.rate_up + self.rate_down
+        if total == 0:
+            return 0.0
+        return self.rate_up / total
+
+
+@dataclass(frozen=True)
+class OrnsteinUhlenbeckProcess:
+    """Mean-reverting drift: ``x' = x + theta (mu - x) + sigma * N(0,1)``."""
+
+    theta: float
+    mu: float = 0.0
+    sigma: float = 0.01
+    x0: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.theta <= 1.0:
+            raise ValueError("theta must be in (0, 1]")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, length: int, seed: SeedLike = None) -> np.ndarray:
+        rng = ensure_rng(seed)
+        path = np.empty(length)
+        x = self.x0
+        for i in range(length):
+            x = x + self.theta * (self.mu - x) + self.sigma * rng.standard_normal()
+            path[i] = x
+        return path
+
+    def stationary_std(self) -> float:
+        """Standard deviation of the stationary distribution."""
+        return self.sigma / np.sqrt(1.0 - (1.0 - self.theta) ** 2)
+
+
+@dataclass(frozen=True)
+class SpikeProcess:
+    """Poisson-arriving transient events.
+
+    Arrivals occur per step with probability ``rate``. Each event draws a
+    magnitude ``m ~ magnitude * (1 + Pareto(tail))`` (heavy tail: most
+    events moderate, occasional extreme ones) and a duration
+    ``d ~ Geometric(1 / mean_duration)``. Overlapping events superpose.
+    Signs are negative-biased when ``negative_bias`` is set, reflecting
+    that transient T1 dips *hurt* fidelity.
+    """
+
+    rate: float
+    magnitude: float
+    mean_duration: float = 1.5
+    tail: float = 2.5
+    negative_bias: float = 0.5
+    wobble: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be a per-step probability")
+        if self.magnitude < 0:
+            raise ValueError("magnitude must be non-negative")
+        if self.mean_duration < 1.0:
+            raise ValueError("mean_duration must be >= 1 step")
+        if self.tail <= 1.0:
+            raise ValueError("tail must exceed 1 for finite mean")
+        if not 0.0 <= self.negative_bias <= 1.0:
+            raise ValueError("negative_bias must be in [0, 1]")
+        if not 0.0 <= self.wobble <= 1.0:
+            raise ValueError("wobble must be in [0, 1]")
+
+    def sample(self, length: int, seed: SeedLike = None) -> np.ndarray:
+        rng = ensure_rng(seed)
+        path = np.zeros(length)
+        for start in range(length):
+            if rng.random() >= self.rate:
+                continue
+            size = self.magnitude * (1.0 + rng.pareto(self.tail))
+            if rng.random() < self.negative_bias:
+                size = -size
+            duration = int(rng.geometric(1.0 / self.mean_duration))
+            end = min(length, start + max(1, duration))
+            # An active transient's strength fluctuates step to step (the
+            # TLS coupling keeps wandering around resonance), so adjacent
+            # jobs inside one event still see different magnitudes.
+            steps = end - start
+            wobbles = 1.0 + self.wobble * rng.uniform(-1.0, 1.0, size=steps)
+            path[start:end] += size * wobbles
+        return path
+
+
+@dataclass(frozen=True)
+class GaussianJitterProcess:
+    """iid Gaussian fluctuations (fine-grained residual noise)."""
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, length: int, seed: SeedLike = None) -> np.ndarray:
+        rng = ensure_rng(seed)
+        return self.sigma * rng.standard_normal(length)

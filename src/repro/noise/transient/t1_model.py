@@ -1,0 +1,79 @@
+"""Device-level T1 fluctuation model (paper Fig. 3).
+
+Reproduces the qualitative structure of T1-vs-time data from Burnett et
+al. (the paper's [9], Fig. 3): a baseline around 50-75 us with slow drift,
+plus occasional deep dips when a TLS defect wanders into resonance with
+the qubit. The dips are the "potential transient errors" the paper
+circles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.noise.transient.processes import (
+    OrnsteinUhlenbeckProcess,
+    SpikeProcess,
+)
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class T1FluctuationModel:
+    """Synthesizes hours-scale T1 time series for one qubit."""
+
+    baseline_us: float = 65.0
+    drift_sigma_us: float = 2.0
+    drift_theta: float = 0.03
+    dip_rate_per_hour: float = 0.06
+    dip_depth_fraction: float = 0.6
+    dip_duration_hours: float = 1.5
+    samples_per_hour: int = 4
+    floor_us: float = 5.0
+
+    def sample_hours(self, hours: float, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(times_hours, t1_us)`` over the requested span."""
+        if hours <= 0:
+            raise ValueError("hours must be positive")
+        length = max(2, int(hours * self.samples_per_hour))
+        times = np.linspace(0.0, hours, length)
+
+        drift = OrnsteinUhlenbeckProcess(
+            theta=self.drift_theta, sigma=self.drift_sigma_us
+        ).sample(length, derive_rng(seed, "t1:drift"))
+        dips = SpikeProcess(
+            rate=min(1.0, self.dip_rate_per_hour / self.samples_per_hour),
+            magnitude=self.dip_depth_fraction * self.baseline_us,
+            mean_duration=max(1.0, self.dip_duration_hours * self.samples_per_hour),
+            tail=3.0,
+            negative_bias=1.0,  # TLS coupling only *reduces* T1
+        ).sample(length, derive_rng(seed, "t1:dips"))
+
+        t1 = self.baseline_us + drift + dips
+        return times, np.clip(t1, self.floor_us, None)
+
+    def outlier_count(self, t1_us: np.ndarray, threshold_fraction: float = 0.5) -> int:
+        """Count samples below ``threshold_fraction * baseline`` (the
+        circled outliers in Fig. 3)."""
+        return int(np.sum(t1_us < threshold_fraction * self.baseline_us))
+
+
+def t1_to_error_fraction(
+    t1_us: np.ndarray, circuit_duration_us: float, baseline_us: float
+) -> np.ndarray:
+    """Map a T1 series to an *excess* decay-error fraction.
+
+    A circuit of duration ``d`` survives amplitude damping with probability
+    ``exp(-d / T1)`` per qubit; the transient error fraction is the extra
+    decay relative to the baseline T1. This links the device-level model
+    (Fig. 3) to circuit-level fidelity variation (Fig. 4).
+    """
+    t1_us = np.asarray(t1_us, dtype=float)
+    if circuit_duration_us <= 0:
+        raise ValueError("circuit duration must be positive")
+    survival = np.exp(-circuit_duration_us / t1_us)
+    baseline_survival = np.exp(-circuit_duration_us / baseline_us)
+    return (baseline_survival - survival) / baseline_survival

@@ -1,0 +1,87 @@
+"""The transient trace data structure (paper Section 6.2).
+
+A :class:`TransientTrace` stores per-iteration transient perturbations,
+normalized to the magnitude of the VQA estimations (i.e. values are
+*fractions*; a value of 0.25 perturbs the energy estimate by 25 % of its
+reference magnitude). The transient backend indexes the trace by job
+counter, cycling if a run outlives the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.stats import SeriesSummary, summary
+
+
+@dataclass(frozen=True)
+class TransientTrace:
+    """An immutable per-iteration transient perturbation series."""
+
+    values: np.ndarray
+    machine: str = "synthetic"
+    trial: str = "v1"
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 1 or values.size == 0:
+            raise ValueError("trace values must be a non-empty 1-D array")
+        values = values.copy()
+        values.flags.writeable = False
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __getitem__(self, index: int) -> float:
+        """Cyclic indexing so long runs never fall off the trace end."""
+        return float(self.values[index % self.values.size])
+
+    @property
+    def name(self) -> str:
+        return f"{self.machine}-{self.trial}"
+
+    def scaled(self, factor: float) -> "TransientTrace":
+        """A copy with all perturbations scaled (Fig. 10's magnitude sweep)."""
+        return TransientTrace(
+            self.values * factor,
+            machine=self.machine,
+            trial=self.trial,
+            metadata={**self.metadata, "scale": factor},
+        )
+
+    def magnitude_percentile(self, percentile: float) -> float:
+        """Percentile of |perturbation| — the QISMET threshold calibration."""
+        return float(np.percentile(np.abs(self.values), percentile))
+
+    def active_fraction(self, threshold: float) -> float:
+        """Fraction of iterations whose |perturbation| exceeds a threshold."""
+        return float(np.mean(np.abs(self.values) > threshold))
+
+    def stats(self) -> SeriesSummary:
+        return summary(self.values)
+
+    def segment(self, start: int, length: int) -> "TransientTrace":
+        """A cyclic slice, useful for splitting one trace across trials."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        indices = (start + np.arange(length)) % self.values.size
+        return TransientTrace(
+            self.values[indices],
+            machine=self.machine,
+            trial=f"{self.trial}+{start}",
+            metadata=dict(self.metadata),
+        )
+
+
+def concatenate_traces(*traces: TransientTrace) -> TransientTrace:
+    """Concatenate traces end to end (machine/trial from the first)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    values = np.concatenate([t.values for t in traces])
+    first = traces[0]
+    return TransientTrace(values, machine=first.machine, trial=first.trial)

@@ -1,0 +1,19 @@
+"""Pauli operators, Pauli-sum observables and measurement grouping."""
+
+from repro.operators.pauli import PauliString, pauli_matrix
+from repro.operators.pauli_sum import PauliSum, PauliTerm
+from repro.operators.grouping import group_commuting_terms, qubitwise_commutes
+from repro.operators.decompose import pauli_decompose
+from repro.operators.measurement_basis import basis_rotation_circuit, diagonal_value
+
+__all__ = [
+    "PauliString",
+    "pauli_matrix",
+    "PauliSum",
+    "PauliTerm",
+    "group_commuting_terms",
+    "qubitwise_commutes",
+    "pauli_decompose",
+    "basis_rotation_circuit",
+    "diagonal_value",
+]

@@ -1,0 +1,52 @@
+"""Dense matrix -> Pauli-basis decomposition.
+
+Used by the chemistry stack: the second-quantized molecular Hamiltonian is
+assembled as a Fock-space matrix via Jordan-Wigner ladder operators, then
+decomposed into Pauli strings for measurement-based VQE.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict
+
+import numpy as np
+
+from repro.operators.pauli import PauliString, pauli_matrix
+from repro.operators.pauli_sum import PauliSum
+
+
+def pauli_decompose(matrix: np.ndarray, tol: float = 1e-10) -> PauliSum:
+    """Decompose a Hermitian matrix into a real-coefficient PauliSum.
+
+    Coefficients are Hilbert-Schmidt inner products
+    ``c_P = tr(P M) / 2**n``. Raises if the matrix has a significant
+    non-Hermitian component (imaginary coefficients).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("matrix must be square")
+    dim = matrix.shape[0]
+    num_qubits = int(np.log2(dim))
+    if 2**num_qubits != dim:
+        raise ValueError("matrix dimension must be a power of two")
+
+    terms = []
+    for chars in product("IXYZ", repeat=num_qubits):
+        label = "".join(chars)
+        coefficient = np.trace(pauli_matrix(label) @ matrix) / dim
+        if abs(coefficient.imag) > 1e-8:
+            raise ValueError(
+                f"matrix is not Hermitian: imaginary coefficient on {label}"
+            )
+        if abs(coefficient.real) > tol:
+            terms.append((float(coefficient.real), label))
+    if not terms:
+        terms = [(0.0, "I" * num_qubits)]
+    return PauliSum(terms)
+
+
+def pauli_coefficients(matrix: np.ndarray, tol: float = 1e-10) -> Dict[str, float]:
+    """Dictionary form of :func:`pauli_decompose`."""
+    decomposed = pauli_decompose(matrix, tol=tol)
+    return {term.pauli.label: term.coefficient for term in decomposed.terms}

@@ -1,0 +1,76 @@
+"""Grouping Pauli terms into simultaneously measurable sets.
+
+Qubit-wise commuting (QWC) terms can be measured from the same shots after
+one basis-rotation circuit. Grouping is a graph-coloring problem on the
+non-QWC conflict graph; we use networkx's greedy coloring, which is the
+standard practical choice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import networkx as nx
+
+from repro.operators.pauli import PauliString
+from repro.operators.pauli_sum import PauliSum, PauliTerm
+
+
+def qubitwise_commutes(a: PauliString, b: PauliString) -> bool:
+    """True if every qubit position agrees or one side is the identity."""
+    if a.num_qubits != b.num_qubits:
+        raise ValueError("qubit count mismatch")
+    return all(
+        ca == "I" or cb == "I" or ca == cb for ca, cb in zip(a.label, b.label)
+    )
+
+
+def group_commuting_terms(observable: PauliSum) -> List[List[PauliTerm]]:
+    """Partition terms into QWC groups via greedy graph coloring.
+
+    The identity term (if any) joins the first group since it is measurable
+    in any basis.
+    """
+    terms = [t for t in observable.terms if not t.pauli.is_identity]
+    identity_terms = [t for t in observable.terms if t.pauli.is_identity]
+    if not terms:
+        return [identity_terms] if identity_terms else []
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(terms)))
+    for i in range(len(terms)):
+        for j in range(i + 1, len(terms)):
+            if not qubitwise_commutes(terms[i].pauli, terms[j].pauli):
+                graph.add_edge(i, j)
+    coloring = nx.greedy_color(graph, strategy="largest_first")
+    num_groups = max(coloring.values()) + 1 if coloring else 1
+    groups: List[List[PauliTerm]] = [[] for _ in range(num_groups)]
+    for index, color in coloring.items():
+        groups[color].append(terms[index])
+    groups = [group for group in groups if group]
+    if identity_terms:
+        if groups:
+            groups[0] = identity_terms + groups[0]
+        else:
+            groups = [identity_terms]
+    return groups
+
+
+def measurement_bases(group: Sequence[PauliTerm]) -> str:
+    """The merged measurement basis label for one QWC group.
+
+    Each qubit's basis is the non-identity Pauli appearing there (all terms
+    agree by construction), defaulting to ``Z``.
+    """
+    if not group:
+        raise ValueError("empty group")
+    num_qubits = group[0].pauli.num_qubits
+    basis = ["Z"] * num_qubits
+    for term in group:
+        for qubit, char in enumerate(term.pauli.label):
+            if char == "I":
+                continue
+            if basis[qubit] not in ("Z", char) and basis[qubit] != char:
+                raise ValueError("group is not qubit-wise commuting")
+            basis[qubit] = char
+    return "".join(basis)

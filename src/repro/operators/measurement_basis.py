@@ -1,0 +1,51 @@
+"""Measurement-basis rotations and diagonal evaluation of Pauli terms.
+
+To measure a Pauli string from computational-basis shots, each qubit with
+``X`` gets an ``H`` rotation and each with ``Y`` gets ``Sdg; H`` before
+measurement; the term's value on a bitstring is then the parity of the
+bits in the string's support.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.operators.pauli import PauliString
+
+
+def basis_rotation_circuit(basis: Union[str, PauliString]) -> QuantumCircuit:
+    """Pre-measurement rotation circuit for a basis label.
+
+    ``basis`` uses one character per qubit from ``{I, X, Y, Z}``; ``I`` and
+    ``Z`` need no rotation.
+    """
+    label = basis.label if isinstance(basis, PauliString) else basis.upper()
+    circuit = QuantumCircuit(len(label), name=f"meas[{label}]")
+    for qubit, char in enumerate(label):
+        if char in ("I", "Z"):
+            continue
+        if char == "X":
+            circuit.h(qubit)
+        elif char == "Y":
+            circuit.sdg(qubit)
+            circuit.h(qubit)
+        else:
+            raise ValueError(f"invalid basis character {char!r}")
+    return circuit
+
+
+def diagonal_value(pauli: Union[str, PauliString], bitstring: str) -> int:
+    """Value (+1/-1) of a Pauli term on a measured bitstring.
+
+    Assumes the state was already rotated into the term's basis, so only
+    the support parity matters. Bitstrings are qubit-0-leftmost.
+    """
+    label = pauli.label if isinstance(pauli, PauliString) else pauli.upper()
+    if len(label) != len(bitstring):
+        raise ValueError("bitstring length mismatch")
+    parity = 0
+    for char, bit in zip(label, bitstring):
+        if char != "I" and bit == "1":
+            parity ^= 1
+    return -1 if parity else 1

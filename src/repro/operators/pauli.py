@@ -1,0 +1,150 @@
+"""Pauli strings.
+
+A :class:`PauliString` is an n-character label over ``{I, X, Y, Z}`` with
+character 0 acting on qubit 0. Strings multiply with phase tracking and can
+be applied directly to statevector tensors (used for exact expectation
+values without building dense matrices).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+_PAULI_MATRICES: Dict[str, np.ndarray] = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+# Single-Pauli products: (left, right) -> (phase, result)
+_PRODUCT: Dict[Tuple[str, str], Tuple[complex, str]] = {}
+for _a in "IXYZ":
+    _PRODUCT[("I", _a)] = (1.0, _a)
+    _PRODUCT[(_a, "I")] = (1.0, _a)
+    _PRODUCT[(_a, _a)] = (1.0, "I")
+_PRODUCT[("X", "Y")] = (1j, "Z")
+_PRODUCT[("Y", "X")] = (-1j, "Z")
+_PRODUCT[("Y", "Z")] = (1j, "X")
+_PRODUCT[("Z", "Y")] = (-1j, "X")
+_PRODUCT[("Z", "X")] = (1j, "Y")
+_PRODUCT[("X", "Z")] = (-1j, "Y")
+
+
+def pauli_matrix(label: str) -> np.ndarray:
+    """Dense matrix of a Pauli string (kron ordered with qubit 0 first)."""
+    matrix = np.array([[1.0 + 0j]])
+    for char in label:
+        matrix = np.kron(matrix, _PAULI_MATRICES[char])
+    return matrix
+
+
+class PauliString:
+    """An immutable Pauli string such as ``"XIZ"``."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        label = label.upper()
+        if not label:
+            raise ValueError("empty Pauli label")
+        if any(char not in "IXYZ" for char in label):
+            raise ValueError(f"invalid Pauli label {label!r}")
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("PauliString is immutable")
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.label)
+
+    @property
+    def is_identity(self) -> bool:
+        return set(self.label) == {"I"}
+
+    @property
+    def support(self) -> Tuple[int, ...]:
+        """Qubits on which the string acts non-trivially."""
+        return tuple(i for i, char in enumerate(self.label) if char != "I")
+
+    @property
+    def weight(self) -> int:
+        return len(self.support)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PauliString) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash(self.label)
+
+    def __repr__(self) -> str:
+        return f"PauliString({self.label!r})"
+
+    def __str__(self) -> str:
+        return self.label
+
+    def __getitem__(self, qubit: int) -> str:
+        return self.label[qubit]
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True if the full operators commute (anti-commutation parity)."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit count mismatch")
+        anti = sum(
+            1
+            for a, b in zip(self.label, other.label)
+            if a != "I" and b != "I" and a != b
+        )
+        return anti % 2 == 0
+
+    def multiply(self, other: "PauliString") -> Tuple[complex, "PauliString"]:
+        """Return ``(phase, product)`` with ``self * other = phase * product``."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit count mismatch")
+        phase: complex = 1.0
+        chars = []
+        for a, b in zip(self.label, other.label):
+            factor, result = _PRODUCT[(a, b)]
+            phase *= factor
+            chars.append(result)
+        return phase, PauliString("".join(chars))
+
+    def to_matrix(self) -> np.ndarray:
+        return pauli_matrix(self.label)
+
+    def apply_to_state(self, state: np.ndarray) -> np.ndarray:
+        """Apply the string to a state tensor of shape ``(2,)*n``.
+
+        Implemented axis-by-axis with flips/phases instead of matrix
+        contraction, which keeps exact expectation evaluation cheap.
+        """
+        out = np.array(state, dtype=complex, copy=True)
+        for qubit, char in enumerate(self.label):
+            if char == "I":
+                continue
+            if char == "X":
+                out = np.flip(out, axis=qubit).copy()
+            elif char == "Z":
+                index = [slice(None)] * out.ndim
+                index[qubit] = 1
+                out[tuple(index)] = -out[tuple(index)]
+            else:  # Y: flip then phase (Y|0> = i|1>, Y|1> = -i|0>)
+                out = np.flip(out, axis=qubit).copy()
+                index0 = [slice(None)] * out.ndim
+                index1 = [slice(None)] * out.ndim
+                index0[qubit] = 0
+                index1[qubit] = 1
+                out[tuple(index0)] = out[tuple(index0)] * (-1j)
+                out[tuple(index1)] = out[tuple(index1)] * (1j)
+        return out
+
+    def expectation(self, state: np.ndarray) -> float:
+        """Exact ``<psi|P|psi>`` for a state tensor or flat statevector."""
+        tensor = np.asarray(state)
+        if tensor.ndim == 1:
+            tensor = tensor.reshape((2,) * self.num_qubits)
+        transformed = self.apply_to_state(tensor)
+        return float(np.real(np.vdot(tensor, transformed)))

@@ -1,0 +1,23 @@
+"""Classical optimizers for VQA tuning.
+
+The central API is step-based rather than callback-based: each iteration
+the VQA driver hands the optimizer a *job-scoped* evaluator, and the
+optimizer proposes the next candidate parameters. This shape is what lets
+QISMET interpose its controller between proposal and acceptance.
+"""
+
+from repro.optimizers.base import IterativeOptimizer, OptimizerState
+from repro.optimizers.spsa import SPSA, BlockingSPSA, ResamplingSPSA, SecondOrderSPSA
+from repro.optimizers.gradient_descent import ParameterShiftGradientDescent
+from repro.optimizers.scipy_wrappers import minimize_scipy
+
+__all__ = [
+    "IterativeOptimizer",
+    "OptimizerState",
+    "SPSA",
+    "BlockingSPSA",
+    "ResamplingSPSA",
+    "SecondOrderSPSA",
+    "ParameterShiftGradientDescent",
+    "minimize_scipy",
+]

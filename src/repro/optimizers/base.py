@@ -1,0 +1,64 @@
+"""Optimizer protocol shared by the VQA driver and QISMET."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+Evaluator = Callable[[np.ndarray], float]
+
+
+@dataclass
+class OptimizerState:
+    """Mutable per-run optimizer bookkeeping."""
+
+    iteration: int = 0
+    evaluations: int = 0
+    history: List[float] = field(default_factory=list)
+
+
+class IterativeOptimizer:
+    """Base class for step-based optimizers.
+
+    Lifecycle per VQA iteration:
+
+    1. the driver calls :meth:`propose` with the current parameters and an
+       evaluator scoped to the current quantum job — all objective queries
+       the optimizer makes see the *same* transient noise instance;
+    2. the driver measures the candidate's energy (possibly deciding, with
+       QISMET, to retry) and then calls :meth:`feedback` with the outcome
+       so stateful variants (blocking) can react.
+    """
+
+    def __init__(self) -> None:
+        self.state = OptimizerState()
+
+    def reset(self) -> None:
+        self.state = OptimizerState()
+
+    def propose(self, theta: np.ndarray, evaluate: Evaluator) -> np.ndarray:
+        """Return candidate parameters for the next iteration."""
+        raise NotImplementedError
+
+    def accepts(self, current_energy: float, candidate_energy: float) -> bool:
+        """Optimizer-level acceptance (default: always accept).
+
+        This models Qiskit SPSA's *blocking* option; QISMET's controller is
+        a separate, orthogonal acceptance layer.
+        """
+        return True
+
+    def feedback(
+        self,
+        accepted: bool,
+        theta: np.ndarray,
+        energy: float,
+    ) -> None:
+        """Notify the optimizer of the iteration outcome."""
+        self.state.iteration += 1
+        self.state.history.append(energy)
+
+    def _count_eval(self) -> None:
+        self.state.evaluations += 1

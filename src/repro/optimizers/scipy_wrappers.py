@@ -1,0 +1,40 @@
+"""Scipy optimizer wrappers for noise-free reference optimizations.
+
+The transient-aware machinery needs the step-based API, but noise-free
+reference curves (the paper's orange "ideal" line) are conveniently
+produced with scipy's COBYLA / Nelder-Mead on the exact objective.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+from scipy import optimize
+
+
+def minimize_scipy(
+    objective: Callable[[np.ndarray], float],
+    theta0: np.ndarray,
+    method: str = "COBYLA",
+    max_evaluations: int = 2000,
+    tol: Optional[float] = None,
+):
+    """Minimize an objective with a scipy method; returns the OptimizeResult.
+
+    Only derivative-free methods make sense here (the objective may be a
+    sampled quantum expectation); supported: COBYLA, Nelder-Mead, Powell.
+    """
+    supported = {"COBYLA", "Nelder-Mead", "Powell"}
+    if method not in supported:
+        raise ValueError(f"method must be one of {sorted(supported)}")
+    options = {"maxiter": max_evaluations}
+    if method == "COBYLA":
+        options = {"maxiter": max_evaluations}
+    return optimize.minimize(
+        objective,
+        np.asarray(theta0, dtype=float),
+        method=method,
+        tol=tol,
+        options=options,
+    )

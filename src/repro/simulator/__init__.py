@@ -1,0 +1,27 @@
+"""Quantum state simulation engines.
+
+Two engines are provided: a statevector simulator (pure states, fast path
+for VQE objective evaluation) and a density-matrix simulator (mixed states,
+supports Kraus noise channels; used to validate the energy-level noise
+approximations of the transient backend).
+"""
+
+from repro.simulator.statevector import StatevectorSimulator, simulate_statevector
+from repro.simulator.density_matrix import DensityMatrixSimulator
+from repro.simulator.sampling import counts_from_probabilities, sample_counts
+from repro.simulator.expectation import (
+    expectation_from_counts,
+    expectation_of_matrix,
+    expectation_of_pauli_sum,
+)
+
+__all__ = [
+    "StatevectorSimulator",
+    "simulate_statevector",
+    "DensityMatrixSimulator",
+    "counts_from_probabilities",
+    "sample_counts",
+    "expectation_from_counts",
+    "expectation_of_matrix",
+    "expectation_of_pauli_sum",
+]

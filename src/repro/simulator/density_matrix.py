@@ -1,0 +1,129 @@
+"""Density-matrix simulation with Kraus noise channels.
+
+The state is a rank-``2n`` tensor: axes ``0..n-1`` are ket indices and axes
+``n..2n-1`` the corresponding bra indices. Gate application conjugates by
+the unitary; channels apply a sum over Kraus operators. Intended for small
+systems (n <= ~10), which covers every workload in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATES
+
+
+class DensityMatrixSimulator:
+    """Executes circuits on mixed states, optionally with a noise model."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        self.num_qubits = num_qubits
+
+    # -- state helpers ---------------------------------------------------------
+
+    def zero_state(self) -> np.ndarray:
+        dim = 2**self.num_qubits
+        rho = np.zeros((dim, dim), dtype=complex)
+        rho[0, 0] = 1.0
+        return rho.reshape((2,) * (2 * self.num_qubits))
+
+    def to_matrix(self, rho: np.ndarray) -> np.ndarray:
+        dim = 2**self.num_qubits
+        return rho.reshape(dim, dim)
+
+    # -- evolution ---------------------------------------------------------------
+
+    def _apply_operator_left(
+        self, rho: np.ndarray, matrix: np.ndarray, qubits: Tuple[int, ...]
+    ) -> np.ndarray:
+        k = len(qubits)
+        tensor = matrix.reshape((2,) * (2 * k))
+        rho = np.tensordot(tensor, rho, axes=(tuple(range(k, 2 * k)), qubits))
+        return np.moveaxis(rho, tuple(range(k)), qubits)
+
+    def _apply_operator_right(
+        self, rho: np.ndarray, matrix: np.ndarray, qubits: Tuple[int, ...]
+    ) -> np.ndarray:
+        # rho @ M^dagger acting on bra axes.
+        k = len(qubits)
+        bra_axes = tuple(self.num_qubits + q for q in qubits)
+        tensor = matrix.conj().reshape((2,) * (2 * k))
+        rho = np.tensordot(tensor, rho, axes=(tuple(range(k, 2 * k)), bra_axes))
+        return np.moveaxis(rho, tuple(range(k)), bra_axes)
+
+    def apply_unitary(
+        self, rho: np.ndarray, matrix: np.ndarray, qubits: Tuple[int, ...]
+    ) -> np.ndarray:
+        rho = self._apply_operator_left(rho, matrix, qubits)
+        return self._apply_operator_right(rho, matrix, qubits)
+
+    def apply_kraus(
+        self,
+        rho: np.ndarray,
+        kraus_ops: Iterable[np.ndarray],
+        qubits: Tuple[int, ...],
+    ) -> np.ndarray:
+        """Apply a channel given by Kraus operators on ``qubits``."""
+        result = None
+        for op in kraus_ops:
+            term = self._apply_operator_left(rho, op, qubits)
+            term = self._apply_operator_right(term, op, qubits)
+            result = term if result is None else result + term
+        if result is None:
+            raise ValueError("empty Kraus operator list")
+        return result
+
+    def run_circuit(
+        self,
+        circuit: QuantumCircuit,
+        noise_model=None,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run a bound circuit, applying per-gate noise if a model is given.
+
+        ``noise_model`` follows the ``repro.noise.NoiseModel`` protocol:
+        ``channels_for(gate_name, qubits)`` yields ``(kraus_ops, qubits)``
+        pairs applied after the ideal gate.
+        """
+        if circuit.num_parameters:
+            raise ValueError("circuit has unbound parameters; bind it first")
+        rho = self.zero_state() if initial_state is None else np.array(
+            initial_state, dtype=complex
+        ).reshape((2,) * (2 * self.num_qubits))
+        for inst in circuit:
+            if inst.name == "barrier":
+                continue
+            matrix = GATES[inst.name].matrix(tuple(float(p) for p in inst.params))
+            rho = self.apply_unitary(rho, matrix, inst.qubits)
+            if noise_model is not None:
+                for kraus_ops, qubits in noise_model.channels_for(
+                    inst.name, inst.qubits
+                ):
+                    rho = self.apply_kraus(rho, kraus_ops, qubits)
+        return rho
+
+    # -- measurement ----------------------------------------------------------------
+
+    def probabilities(self, rho: np.ndarray) -> np.ndarray:
+        """Computational-basis outcome probabilities (length 2**n)."""
+        mat = self.to_matrix(rho)
+        probs = np.real(np.diag(mat)).copy()
+        probs[probs < 0] = 0.0
+        total = probs.sum()
+        if total > 0:
+            probs /= total
+        return probs
+
+    def expectation(self, rho: np.ndarray, observable: np.ndarray) -> float:
+        """``tr(rho O)`` for a dense observable matrix."""
+        mat = self.to_matrix(rho)
+        return float(np.real(np.trace(mat @ observable)))
+
+    def purity(self, rho: np.ndarray) -> float:
+        mat = self.to_matrix(rho)
+        return float(np.real(np.trace(mat @ mat)))

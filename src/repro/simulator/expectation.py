@@ -1,0 +1,79 @@
+"""Expectation-value evaluation: exact and from measurement counts."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.operators.measurement_basis import diagonal_value
+from repro.operators.pauli_sum import PauliSum, PauliTerm
+
+
+def expectation_of_matrix(state: np.ndarray, observable: np.ndarray) -> float:
+    """``<psi|O|psi>`` for a flat statevector and dense observable."""
+    psi = np.asarray(state).reshape(-1)
+    return float(np.real(np.vdot(psi, observable @ psi)))
+
+
+def expectation_of_pauli_sum(state: np.ndarray, observable: PauliSum) -> float:
+    """Exact PauliSum expectation against a statevector."""
+    return observable.expectation(state)
+
+
+def expectation_from_counts(
+    counts: Mapping[str, int], terms: Sequence[PauliTerm]
+) -> float:
+    """Estimate a QWC term group's expectation from measured counts.
+
+    ``counts`` must come from shots taken after the group's basis-rotation
+    circuit; each term contributes its support-parity value per shot.
+    """
+    total = sum(counts.values())
+    if total <= 0:
+        raise ValueError("counts are empty")
+    value = 0.0
+    for term in terms:
+        if term.pauli.is_identity:
+            value += term.coefficient
+            continue
+        accum = 0
+        for bits, count in counts.items():
+            accum += diagonal_value(term.pauli, bits) * count
+        value += term.coefficient * accum / total
+    return value
+
+
+def shot_noise_sigma(observable: PauliSum, shots: int) -> float:
+    """Upper-bound estimate of the shot-noise standard deviation.
+
+    Each non-identity Pauli term's estimator has per-shot variance at most
+    1, so the energy estimator's sigma is bounded by
+    ``sqrt(sum c_k^2) / sqrt(shots)``. The transient backend uses this as
+    the static jitter scale.
+    """
+    if shots < 1:
+        raise ValueError("shots must be >= 1")
+    coefficients = np.array(
+        [t.coefficient for t in observable.terms if not t.pauli.is_identity]
+    )
+    if coefficients.size == 0:
+        return 0.0
+    return float(np.sqrt(np.sum(coefficients**2) / shots))
+
+
+def counts_expectation_full(
+    counts_by_basis: Mapping[str, Dict[str, int]],
+    groups: Sequence[Sequence[PauliTerm]],
+    basis_labels: Sequence[str],
+) -> float:
+    """Combine per-basis counts into a full observable estimate."""
+    if len(groups) != len(basis_labels):
+        raise ValueError("groups/basis_labels length mismatch")
+    value = 0.0
+    for group, basis in zip(groups, basis_labels):
+        counts = counts_by_basis.get(basis)
+        if counts is None:
+            raise KeyError(f"no counts for basis {basis!r}")
+        value += expectation_from_counts(counts, group)
+    return value

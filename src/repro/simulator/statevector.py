@@ -1,0 +1,96 @@
+"""Statevector simulation.
+
+States are stored as rank-``n`` tensors of shape ``(2,) * n`` with qubit 0
+as the *first* tensor axis. Bitstring conventions elsewhere in the library
+print qubit 0 as the leftmost character.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.program import CompiledProgram, compile_circuit
+
+
+def apply_gate(
+    state: np.ndarray, matrix: np.ndarray, qubits: Tuple[int, ...]
+) -> np.ndarray:
+    """Apply a k-qubit gate matrix to the state tensor in place-ish.
+
+    Returns the (possibly new) state tensor; callers must use the return
+    value because ``moveaxis`` produces views/copies.
+    """
+    k = len(qubits)
+    tensor = matrix.reshape((2,) * (2 * k))
+    # Contract the gate's input indices with the state's qubit axes, then
+    # move the resulting output axes back to the qubit positions.
+    state = np.tensordot(tensor, state, axes=(tuple(range(k, 2 * k)), qubits))
+    return np.moveaxis(state, tuple(range(k)), qubits)
+
+
+class StatevectorSimulator:
+    """Executes compiled programs / circuits on pure states."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        self.num_qubits = num_qubits
+
+    def zero_state(self) -> np.ndarray:
+        state = np.zeros((2,) * self.num_qubits, dtype=complex)
+        state[(0,) * self.num_qubits] = 1.0
+        return state
+
+    def run_program(
+        self,
+        program: CompiledProgram,
+        theta: Sequence[float],
+        initial_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run a compiled program and return the final state tensor."""
+        if program.num_qubits != self.num_qubits:
+            raise ValueError("program qubit count mismatch")
+        state = self.zero_state() if initial_state is None else np.array(
+            initial_state, dtype=complex
+        ).reshape((2,) * self.num_qubits)
+        for qubits, matrix in program.op_matrices(theta):
+            state = apply_gate(state, matrix, qubits)
+        return state
+
+    def run_circuit(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run a fully bound circuit."""
+        if circuit.num_parameters:
+            raise ValueError("circuit has unbound parameters; bind it first")
+        program = compile_circuit(circuit)
+        return self.run_program(program, np.empty(0), initial_state)
+
+
+def simulate_statevector(
+    circuit_or_program: Union[QuantumCircuit, CompiledProgram],
+    theta: Sequence[float] = (),
+) -> np.ndarray:
+    """Convenience wrapper returning the flat statevector of length 2**n.
+
+    The flattening uses qubit 0 as the most-significant bit, consistent with
+    the tensor layout.
+    """
+    if isinstance(circuit_or_program, CompiledProgram):
+        program = circuit_or_program
+        sim = StatevectorSimulator(program.num_qubits)
+        state = sim.run_program(program, theta)
+    else:
+        circuit = circuit_or_program
+        sim = StatevectorSimulator(circuit.num_qubits)
+        if circuit.num_parameters:
+            program = compile_circuit(circuit)
+            state = sim.run_program(program, theta)
+        else:
+            state = sim.run_circuit(circuit)
+    return state.reshape(-1)

@@ -1,0 +1,17 @@
+"""A small transpiler: layout selection, swap routing and basis translation
+to the IBM-style ``{rz, sx, x, cx}`` gate set."""
+
+from repro.transpiler.layout import Layout, linear_chain_layout, trivial_layout
+from repro.transpiler.routing import route_circuit
+from repro.transpiler.basis import translate_to_basis
+from repro.transpiler.passes import TranspileResult, transpile
+
+__all__ = [
+    "Layout",
+    "trivial_layout",
+    "linear_chain_layout",
+    "route_circuit",
+    "translate_to_basis",
+    "TranspileResult",
+    "transpile",
+]

@@ -1,0 +1,129 @@
+"""Basis translation into the IBM native gate set {rz, sx, x, cx}.
+
+Standard identities:
+
+* ``h  = rz(pi/2) sx rz(pi/2)``   (up to global phase)
+* ``ry(t) = rz(-pi/2)? `` — we use ``ry(t) = sx rz(t+pi) sx rz(pi)``-free
+  form: ``ry(t) = rz(-pi) sx rz(pi - t) sx`` is error prone, so instead we
+  use the robust generic route: any single-qubit unitary decomposes as
+  ``rz(a) sx rz(b) sx rz(c)`` (ZSXZSXZ), computed numerically from the
+  gate matrix. Global phase is irrelevant for expectation values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATES
+
+NATIVE_GATES = ("rz", "sx", "x", "cx")
+
+
+def zsxzsxz_angles(matrix: np.ndarray) -> tuple:
+    """Decompose a 2x2 unitary as ``rz(a) sx rz(b) sx rz(c)``.
+
+    Write ``U = e^{i phase} Rz(alpha) Ry(theta) Rz(beta)`` (ZYZ Euler
+    form); then, up to global phase,
+    ``U = Rz(alpha + pi) SX Rz(theta + pi) SX Rz(beta)`` — the identity
+    Qiskit's standard equivalence library uses for the u -> rz/sx
+    translation. Tests verify the reconstruction for random unitaries.
+    """
+    u = np.asarray(matrix, dtype=complex)
+    det = np.linalg.det(u)
+    u = u / np.sqrt(det)  # project to SU(2); global phase is irrelevant
+    theta = 2.0 * np.arctan2(abs(u[1, 0]), abs(u[0, 0]))
+    alpha_plus_beta = -2.0 * np.angle(u[0, 0]) if abs(u[0, 0]) > 1e-12 else 0.0
+    alpha_minus_beta = 2.0 * np.angle(u[1, 0]) if abs(u[1, 0]) > 1e-12 else 0.0
+    alpha = (alpha_plus_beta + alpha_minus_beta) / 2.0
+    beta = (alpha_plus_beta - alpha_minus_beta) / 2.0
+    return _wrap(alpha + np.pi), _wrap(theta + np.pi), _wrap(beta)
+
+
+def _wrap(angle: float) -> float:
+    return float((angle + np.pi) % (2.0 * np.pi) - np.pi)
+
+
+def reconstruct_zsxzsxz(a: float, b: float, c: float) -> np.ndarray:
+    rz = GATES["rz"]
+    sx = GATES["sx"].matrix()
+    return rz.matrix((a,)) @ sx @ rz.matrix((b,)) @ sx @ rz.matrix((c,))
+
+
+def translate_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite all gates into {rz, sx, x, cx}.
+
+    Two-qubit non-CX gates (cz, swap, rzz, ...) are first expanded into CX
+    plus single-qubit gates; single-qubit gates then go through the
+    numerical ZSXZSXZ decomposition (skipping ones already native).
+    """
+    if circuit.num_parameters:
+        raise ValueError("bind parameters before basis translation")
+    out = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_native")
+    for inst in circuit:
+        if inst.name == "barrier":
+            out.barrier(*inst.qubits)
+            continue
+        params = tuple(float(p) for p in inst.params)
+        if inst.name in ("rz", "x", "sx", "cx"):
+            out.append(inst.name, inst.qubits, params)
+        elif inst.name == "id":
+            continue
+        elif len(inst.qubits) == 1:
+            matrix = GATES[inst.name].matrix(params)
+            a, b, c = zsxzsxz_angles(matrix)
+            qubit = inst.qubits[0]
+            out.rz(c, qubit)
+            out.sx(qubit)
+            out.rz(b, qubit)
+            out.sx(qubit)
+            out.rz(a, qubit)
+        elif inst.name == "cz":
+            control, target = inst.qubits
+            _append_h(out, target)
+            out.cx(control, target)
+            _append_h(out, target)
+        elif inst.name == "swap":
+            a_q, b_q = inst.qubits
+            out.cx(a_q, b_q)
+            out.cx(b_q, a_q)
+            out.cx(a_q, b_q)
+        elif inst.name == "rzz":
+            a_q, b_q = inst.qubits
+            out.cx(a_q, b_q)
+            out.rz(params[0], b_q)
+            out.cx(a_q, b_q)
+        elif inst.name == "rxx":
+            a_q, b_q = inst.qubits
+            _append_h(out, a_q)
+            _append_h(out, b_q)
+            out.cx(a_q, b_q)
+            out.rz(params[0], b_q)
+            out.cx(a_q, b_q)
+            _append_h(out, a_q)
+            _append_h(out, b_q)
+        elif inst.name == "crz":
+            control, target = inst.qubits
+            out.rz(params[0] / 2.0, target)
+            out.cx(control, target)
+            out.rz(-params[0] / 2.0, target)
+            out.cx(control, target)
+        elif inst.name == "crx":
+            control, target = inst.qubits
+            # crx = (I ⊗ H) crz (I ⊗ H)
+            _append_h(out, target)
+            out.rz(params[0] / 2.0, target)
+            out.cx(control, target)
+            out.rz(-params[0] / 2.0, target)
+            out.cx(control, target)
+            _append_h(out, target)
+        else:
+            raise KeyError(f"no basis translation rule for {inst.name!r}")
+    return out
+
+
+def _append_h(circuit: QuantumCircuit, qubit: int) -> None:
+    """H in native gates: rz(pi/2) sx rz(pi/2) up to global phase."""
+    circuit.rz(np.pi / 2.0, qubit)
+    circuit.sx(qubit)
+    circuit.rz(np.pi / 2.0, qubit)

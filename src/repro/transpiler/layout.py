@@ -1,0 +1,71 @@
+"""Initial layout selection: virtual -> physical qubit maps."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.coupling import CouplingMap
+
+
+class Layout:
+    """A bijective map from virtual circuit qubits to physical qubits."""
+
+    def __init__(self, virtual_to_physical: Dict[int, int], num_physical: int):
+        values = list(virtual_to_physical.values())
+        if len(set(values)) != len(values):
+            raise ValueError("layout must be injective")
+        for physical in values:
+            if not 0 <= physical < num_physical:
+                raise ValueError(f"physical qubit {physical} out of range")
+        self.v2p = dict(virtual_to_physical)
+        self.num_physical = num_physical
+
+    def physical(self, virtual: int) -> int:
+        return self.v2p[virtual]
+
+    def virtual_qubits(self) -> List[int]:
+        return sorted(self.v2p)
+
+    def inverse(self) -> Dict[int, int]:
+        return {p: v for v, p in self.v2p.items()}
+
+    def __repr__(self) -> str:
+        return f"Layout({self.v2p})"
+
+
+def trivial_layout(circuit: QuantumCircuit, coupling: CouplingMap) -> Layout:
+    """Identity layout (virtual i -> physical i)."""
+    if circuit.num_qubits > coupling.num_qubits:
+        raise ValueError("circuit does not fit on device")
+    return Layout(
+        {v: v for v in range(circuit.num_qubits)}, coupling.num_qubits
+    )
+
+
+def linear_chain_layout(circuit: QuantumCircuit, coupling: CouplingMap) -> Layout:
+    """Place the circuit along a simple path in the coupling graph.
+
+    Ideal for linear-entanglement ansatz circuits: every neighbour CX in
+    the virtual circuit lands on a physical coupler, eliminating swaps.
+    Falls back to the trivial layout when no chain exists.
+    """
+    try:
+        chain = coupling.best_linear_chain(circuit.num_qubits)
+    except ValueError:
+        return trivial_layout(circuit, coupling)
+    return Layout(
+        {v: p for v, p in enumerate(chain)}, coupling.num_qubits
+    )
+
+
+def apply_layout(circuit: QuantumCircuit, layout: Layout) -> QuantumCircuit:
+    """Rewrite a circuit onto physical qubit indices."""
+    physical_circuit = QuantumCircuit(layout.num_physical, name=circuit.name)
+    for inst in circuit:
+        mapped = tuple(layout.physical(q) for q in inst.qubits)
+        if inst.name == "barrier":
+            physical_circuit.barrier(*mapped)
+        else:
+            physical_circuit.append(inst.name, mapped, inst.params)
+    return physical_circuit

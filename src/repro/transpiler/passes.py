@@ -1,0 +1,61 @@
+"""The transpile pipeline: layout -> routing -> basis translation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.coupling import CouplingMap
+from repro.transpiler.basis import translate_to_basis
+from repro.transpiler.layout import (
+    Layout,
+    apply_layout,
+    linear_chain_layout,
+    trivial_layout,
+)
+from repro.transpiler.routing import route_circuit
+
+
+@dataclass(frozen=True)
+class TranspileResult:
+    """Transpilation output plus bookkeeping for result interpretation."""
+
+    circuit: QuantumCircuit
+    layout: Layout
+    final_permutation: Dict[int, int]
+    num_swaps: int
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        return self.circuit.num_two_qubit_gates
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    layout_method: str = "chain",
+    to_native_basis: bool = True,
+) -> TranspileResult:
+    """Map a (bound) circuit onto a device.
+
+    ``layout_method`` is ``"chain"`` (find a simple path; best for
+    linear-entanglement ansatz circuits) or ``"trivial"``.
+    """
+    if layout_method == "chain":
+        layout = linear_chain_layout(circuit, coupling)
+    elif layout_method == "trivial":
+        layout = trivial_layout(circuit, coupling)
+    else:
+        raise ValueError(f"unknown layout method {layout_method!r}")
+
+    placed = apply_layout(circuit, layout)
+    routed, permutation = route_circuit(placed, coupling)
+    num_swaps = routed.count_ops().get("swap", 0)
+    final = translate_to_basis(routed) if to_native_basis else routed
+    return TranspileResult(
+        circuit=final,
+        layout=layout,
+        final_permutation=permutation,
+        num_swaps=num_swaps,
+    )

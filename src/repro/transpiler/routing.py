@@ -1,0 +1,62 @@
+"""Swap insertion for two-qubit gates on restricted connectivity.
+
+A simple, predictable router: when a two-qubit gate's operands are not
+adjacent, move one operand along the shortest path with SWAPs (updating
+the running permutation), then emit the gate. Not SABRE-optimal, but
+deterministic and easy to verify — and the paper's linear-entanglement
+ansatz circuits route swap-free under the chain layout anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.coupling import CouplingMap
+
+
+def route_circuit(
+    circuit: QuantumCircuit, coupling: CouplingMap
+) -> Tuple[QuantumCircuit, Dict[int, int]]:
+    """Insert SWAPs so every two-qubit gate acts on coupled qubits.
+
+    Returns ``(routed_circuit, final_permutation)`` where
+    ``final_permutation[logical] = physical`` holds *after* execution
+    (measurement results must be read through it).
+    """
+    if circuit.num_qubits > coupling.num_qubits:
+        raise ValueError("circuit does not fit on device")
+    routed = QuantumCircuit(coupling.num_qubits, name=f"{circuit.name}_routed")
+    # logical -> current physical position
+    position = {logical: logical for logical in range(circuit.num_qubits)}
+
+    for inst in circuit:
+        if inst.name == "barrier":
+            routed.barrier(*(position.get(q, q) for q in inst.qubits))
+            continue
+        if len(inst.qubits) == 1:
+            routed.append(inst.name, (position[inst.qubits[0]],), inst.params)
+            continue
+        a, b = inst.qubits
+        pa, pb = position[a], position[b]
+        if not coupling.are_connected(pa, pb):
+            path = coupling.shortest_path(pa, pb)
+            # Walk qubit `a` down the path until adjacent to b's position.
+            occupant = {p: l for l, p in position.items()}
+            for next_physical in path[1:-1]:
+                routed.swap(position[a], next_physical)
+                other = occupant.get(next_physical)
+                current = position[a]
+                occupant[current] = other
+                if other is not None:
+                    position[other] = current
+                else:
+                    occupant.pop(next_physical, None)
+                position[a] = next_physical
+                occupant[next_physical] = a
+            pa, pb = position[a], position[b]
+            if not coupling.are_connected(pa, pb):
+                raise RuntimeError("routing failed to make qubits adjacent")
+        routed.append(inst.name, (position[a], position[b]), inst.params)
+
+    return routed, dict(position)

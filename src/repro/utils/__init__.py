@@ -1,0 +1,24 @@
+"""Shared utilities: seeded RNG management, statistics, serialization."""
+
+from repro.utils.rng import derive_rng, derive_seed, ensure_rng
+from repro.utils.stats import (
+    geometric_mean,
+    moving_average,
+    relative_variation,
+    running_percentile,
+    summary,
+)
+from repro.utils.serialization import load_json, save_json
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "ensure_rng",
+    "geometric_mean",
+    "moving_average",
+    "relative_variation",
+    "running_percentile",
+    "summary",
+    "load_json",
+    "save_json",
+]

@@ -1,0 +1,45 @@
+"""JSON persistence for experiment results.
+
+Experiment runners produce plain-``dict`` records; these helpers handle the
+numpy scalar/array conversions so results round-trip through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+
+def _to_jsonable(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        return {str(key): _to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(item) for item in obj]
+    if isinstance(obj, np.ndarray):
+        return [_to_jsonable(item) for item in obj.tolist()]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    return obj
+
+
+def save_json(path: Union[str, Path], data: Any) -> Path:
+    """Write ``data`` as pretty-printed JSON, converting numpy types."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(_to_jsonable(data), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load JSON written by :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

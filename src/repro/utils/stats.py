@@ -1,0 +1,120 @@
+"""Small statistics helpers used across experiments and noise models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Raises ``ValueError`` on empty input or non-positive entries, mirroring
+    how the paper reports geomean improvement ratios (Figs. 13 and 17).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def moving_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Simple trailing moving average with a growing warm-up window."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    arr = np.asarray(values, dtype=float)
+    out = np.empty_like(arr)
+    csum = np.cumsum(arr)
+    for i in range(arr.size):
+        lo = max(0, i - window + 1)
+        total = csum[i] - (csum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+def relative_variation(values: Sequence[float]) -> float:
+    """Peak-to-peak variation normalized by the mean magnitude.
+
+    This is the quantity the paper quotes in Fig. 4 ("~5 % variation" for
+    the shallow circuit, "~35 %" for the deep one).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("relative_variation of empty sequence")
+    mean = float(np.mean(np.abs(arr)))
+    if mean == 0.0:
+        return 0.0
+    return float((np.max(arr) - np.min(arr)) / mean)
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Summary statistics for a measurement series."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    variation: float
+    count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "variation": self.variation,
+            "count": float(self.count),
+        }
+
+
+def summary(values: Sequence[float]) -> SeriesSummary:
+    """Summary statistics (mean/std/min/max/relative variation)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("summary of empty sequence")
+    return SeriesSummary(
+        mean=float(np.mean(arr)),
+        std=float(np.std(arr)),
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+        variation=relative_variation(arr),
+        count=int(arr.size),
+    )
+
+
+class running_percentile:  # noqa: N801 - exposed as a callable helper class
+    """Streaming percentile estimator over a bounded history window.
+
+    QISMET's online threshold calibration tracks the distribution of
+    observed transient swing magnitudes; a bounded window keeps the
+    estimate responsive to slow drift in the noise landscape.
+    """
+
+    def __init__(self, percentile: float, window: int = 512):
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.percentile = percentile
+        self.window = window
+        self._values: list = []
+
+    def update(self, value: float) -> None:
+        self._values.append(float(value))
+        if len(self._values) > self.window:
+            del self._values[0]
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def value(self, default: float = 0.0) -> float:
+        if not self._values:
+            return default
+        return float(np.percentile(self._values, self.percentile))

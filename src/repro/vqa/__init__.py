@@ -1,0 +1,14 @@
+"""The VQA layer: objectives, the VQE driver and multi-VQE runners."""
+
+from repro.vqa.objective import EnergyObjective
+from repro.vqa.result import IterationRecord, VQEResult
+from repro.vqa.vqe import VQE
+from repro.vqa.multi_vqe import DissociationCurveRunner
+
+__all__ = [
+    "EnergyObjective",
+    "IterationRecord",
+    "VQEResult",
+    "VQE",
+    "DissociationCurveRunner",
+]

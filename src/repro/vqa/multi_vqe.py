@@ -1,0 +1,107 @@
+"""Multi-VQE experiments: dissociation curves (paper Section 7.6).
+
+Estimating a molecule's potential-energy surface requires one VQE per
+geometry (one Hamiltonian per bond length). Transients hitting some of
+those runs harder than others skew energy *differences* — the quantity
+chemistry actually cares about — which is what Fig. 18 demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.chemistry.h2 import H2Problem, h2_problem
+from repro.vqa.objective import EnergyObjective
+from repro.vqa.result import VQEResult
+from repro.vqa.vqe import VQE
+
+# Builds a ready-to-run VQE for one bond length's problem.
+VQEFactory = Callable[[H2Problem, EnergyObjective, int], VQE]
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One bond length's outcome."""
+
+    bond_length: float
+    estimated_energy: float
+    fci_energy: float
+    hf_energy: float
+    result: VQEResult
+
+    @property
+    def error_vs_fci(self) -> float:
+        return self.estimated_energy - self.fci_energy
+
+
+class DissociationCurveRunner:
+    """Runs one VQE per bond length and collects the curve."""
+
+    def __init__(
+        self,
+        vqe_factory: VQEFactory,
+        ansatz_factory: Callable[[int], "object"],
+        iterations: int = 300,
+        tail_fraction: float = 0.15,
+        initial_point_factory: Optional[Callable] = None,
+    ):
+        self.vqe_factory = vqe_factory
+        self.ansatz_factory = ansatz_factory
+        self.iterations = iterations
+        self.tail_fraction = tail_fraction
+        # Called as f(ansatz, seed) -> theta0; defaults to the HF-informed
+        # point for 4-qubit problems (molecular-VQE standard practice).
+        self.initial_point_factory = initial_point_factory
+
+    def _initial_point(self, ansatz, seed: int):
+        if self.initial_point_factory is not None:
+            return self.initial_point_factory(ansatz, seed)
+        if ansatz.num_qubits == 4:
+            from repro.chemistry.h2 import h2_hf_initial_point
+
+            return h2_hf_initial_point(ansatz, seed=seed)
+        return ansatz.initial_point(seed=seed)
+
+    def run(
+        self,
+        bond_lengths: Sequence[float],
+        seed: int = 0,
+    ) -> List[CurvePoint]:
+        points: List[CurvePoint] = []
+        for i, bond_length in enumerate(bond_lengths):
+            problem = h2_problem(float(bond_length))
+            ansatz = self.ansatz_factory(problem.num_qubits)
+            objective = EnergyObjective(ansatz, problem.hamiltonian)
+            vqe = self.vqe_factory(problem, objective, seed + i)
+            theta0 = self._initial_point(ansatz, seed + i)
+            result = vqe.run(self.iterations, theta0=theta0)
+            estimated = result.tail_true_energy(self.tail_fraction)
+            points.append(
+                CurvePoint(
+                    bond_length=float(bond_length),
+                    estimated_energy=estimated,
+                    fci_energy=problem.fci_energy,
+                    hf_energy=problem.hf_energy,
+                    result=result,
+                )
+            )
+        return points
+
+
+def curve_rms_error(points: Sequence[CurvePoint]) -> float:
+    """RMS deviation of the estimated curve from FCI across bond lengths."""
+    if not points:
+        raise ValueError("empty curve")
+    errors = np.array([p.error_vs_fci for p in points])
+    return float(np.sqrt(np.mean(errors**2)))
+
+
+def binding_energy(points: Sequence[CurvePoint]) -> float:
+    """Estimated well depth: E(max r) - min E(r) (reaction-rate proxy)."""
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    energies = [p.estimated_energy for p in points]
+    return float(energies[-1] - min(energies))

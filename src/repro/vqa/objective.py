@@ -1,0 +1,80 @@
+"""The VQE energy objective: ansatz + Hamiltonian -> E(theta)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ansatz.base import Ansatz
+from repro.operators.pauli_sum import PauliSum
+from repro.simulator.statevector import StatevectorSimulator
+
+_DENSE_LIMIT_QUBITS = 12
+
+
+class EnergyObjective:
+    """Exact (transient-free, noise-free) energy evaluation.
+
+    For small systems the Hamiltonian is cached as a dense matrix so each
+    evaluation is one circuit simulation plus one matrix-vector product;
+    larger systems fall back to per-Pauli-term evaluation.
+    """
+
+    def __init__(self, ansatz: Ansatz, hamiltonian: PauliSum):
+        if ansatz.num_qubits != hamiltonian.num_qubits:
+            raise ValueError(
+                f"ansatz acts on {ansatz.num_qubits} qubits but the "
+                f"Hamiltonian on {hamiltonian.num_qubits}"
+            )
+        self.ansatz = ansatz
+        self.hamiltonian = hamiltonian
+        self._simulator = StatevectorSimulator(ansatz.num_qubits)
+        self._dense: Optional[np.ndarray] = None
+        if ansatz.num_qubits <= _DENSE_LIMIT_QUBITS:
+            self._dense = hamiltonian.to_matrix()
+        self.evaluations = 0
+
+    @property
+    def num_parameters(self) -> int:
+        return self.ansatz.num_parameters
+
+    @property
+    def num_qubits(self) -> int:
+        return self.ansatz.num_qubits
+
+    def statevector(self, theta: np.ndarray) -> np.ndarray:
+        state = self._simulator.run_program(self.ansatz.program, theta)
+        return state.reshape(-1)
+
+    def ideal_energy(self, theta: np.ndarray) -> float:
+        """Exact ``<psi(theta)|H|psi(theta)>``."""
+        self.evaluations += 1
+        state = self._simulator.run_program(self.ansatz.program, theta)
+        if self._dense is not None:
+            psi = state.reshape(-1)
+            return float(np.real(np.vdot(psi, self._dense @ psi)))
+        return self.hamiltonian.expectation(state)
+
+    def __call__(self, theta: np.ndarray) -> float:
+        return self.ideal_energy(theta)
+
+    # Characteristics used by static-noise modelling -------------------------
+
+    def gate_counts(self) -> tuple:
+        """(single-qubit, two-qubit) gate counts of the ansatz circuit."""
+        singles = 0
+        twos = 0
+        for op in self.ansatz.program.ops:
+            if len(op.qubits) == 2:
+                twos += 1
+            else:
+                singles += 1
+        return singles, twos
+
+    def mixed_state_energy(self) -> float:
+        """Energy of the maximally mixed state (identity coefficient)."""
+        return self.hamiltonian.maximally_mixed_expectation()
+
+    def initial_point(self, seed=None, scale: float = 0.1) -> np.ndarray:
+        return self.ansatz.initial_point(seed=seed, scale=scale)

@@ -1,0 +1,143 @@
+import numpy as np
+import pytest
+
+from repro.ansatz.real_amplitudes import RealAmplitudes
+from repro.backends.counts import CountsBackend
+from repro.backends.ideal import IdealBackend
+from repro.backends.transient import StaticNoiseBackend, TransientBackend
+from repro.hamiltonians.tfim import tfim_hamiltonian
+from repro.noise.noise_model import NoiseModel
+from repro.noise.readout import ReadoutError
+from repro.noise.transient.trace import TransientTrace
+from repro.vqa.objective import EnergyObjective
+
+
+@pytest.fixture
+def objective():
+    return EnergyObjective(RealAmplitudes(3, reps=1), tfim_hamiltonian(3))
+
+
+def test_ideal_backend_matches_objective(objective):
+    backend = IdealBackend(objective)
+    theta = objective.initial_point(seed=1)
+    job = backend.new_job()
+    assert job.energy(theta) == pytest.approx(objective.ideal_energy(theta))
+    assert backend.job_counter == 1
+    assert backend.total_circuits == 1
+
+
+def test_static_backend_biases_toward_mixed(objective):
+    theta = objective.initial_point(seed=2)
+    ideal = objective.ideal_energy(theta)
+    backend = StaticNoiseBackend(
+        objective, noise_model=NoiseModel(0.01, 0.05), shots=10**9, seed=3
+    )
+    value = backend.new_job().energy(theta)
+    assert abs(value) < abs(ideal)  # shrunk toward E_mixed = 0
+    assert value == pytest.approx(backend.survival * ideal, abs=1e-3)
+
+
+def test_static_backend_shot_noise_scale(objective):
+    backend = StaticNoiseBackend(objective, shots=1024, seed=4)
+    theta = objective.initial_point(seed=2)
+    values = [backend.new_job().energy(theta) for _ in range(400)]
+    assert np.std(values) == pytest.approx(backend.shot_sigma, rel=0.25)
+
+
+def test_transient_backend_same_job_shares_transient(objective):
+    trace = TransientTrace(np.array([0.0, 0.8, 0.0]), metadata={"seed": 1.0})
+    backend = TransientBackend(
+        objective, trace, noise_model=NoiseModel.ideal(), shots=10**9,
+        seed=5, state_sensitivity=0.0, exposure_jitter=0.0,
+    )
+    theta = objective.initial_point(seed=6)
+    quiet = backend.new_job().energy(theta)       # trace[0] = 0
+    spiked_job = backend.new_job()                # trace[1] = 0.8
+    spiked_a = spiked_job.energy(theta)
+    spiked_b = spiked_job.energy(theta)
+    assert spiked_a == pytest.approx(spiked_b, abs=1e-3)
+    ideal = objective.ideal_energy(theta)
+    assert spiked_a - quiet == pytest.approx(0.8 * abs(ideal), rel=1e-2)
+
+
+def test_transient_backend_clips_extreme_fractions(objective):
+    trace = TransientTrace(np.array([10.0]), metadata={"seed": 1.0})
+    backend = TransientBackend(
+        objective, trace, noise_model=NoiseModel.ideal(), shots=10**9,
+        seed=5, state_sensitivity=0.0, exposure_jitter=0.0,
+    )
+    theta = objective.initial_point(seed=6)
+    value = backend.new_job().energy(theta)
+    ideal = objective.ideal_energy(theta)
+    assert value - ideal <= backend._MAX_FRACTION * abs(ideal) + 1e-6
+
+
+def test_transient_exposure_field_is_trace_derived(objective):
+    trace = TransientTrace(np.array([0.5]), metadata={"seed": 42.0})
+    kwargs = dict(
+        noise_model=NoiseModel.ideal(), shots=4096, exposure_jitter=0.0
+    )
+    a = TransientBackend(objective, trace, seed=1, **kwargs)
+    b = TransientBackend(objective, trace, seed=2, **kwargs)
+    theta = objective.initial_point(seed=3)
+    # different backend seeds, same trace -> same exposure field
+    assert a.exposure(theta) == pytest.approx(b.exposure(theta))
+
+
+def test_transient_exposure_smoothness(objective):
+    trace = TransientTrace(np.array([0.5]), metadata={"seed": 7.0})
+    backend = TransientBackend(
+        objective, trace, seed=1, noise_model=NoiseModel.ideal(),
+        exposure_jitter=0.0,
+    )
+    theta = objective.initial_point(seed=4)
+    near = theta + 0.01
+    far = theta + 1.5
+    base = backend.exposure(theta)
+    assert abs(backend.exposure(near) - base) < abs(
+        backend.exposure(far) - base
+    ) + 0.2
+
+
+def test_backend_reset(objective):
+    backend = IdealBackend(objective)
+    backend.new_job().energy(objective.initial_point(seed=1))
+    backend.reset()
+    assert backend.job_counter == 0
+    assert backend.total_circuits == 0
+
+
+def test_transient_validation(objective):
+    trace = TransientTrace(np.array([0.1]))
+    with pytest.raises(ValueError):
+        TransientBackend(objective, trace, state_sensitivity=-1.0)
+    with pytest.raises(ValueError):
+        TransientBackend(objective, trace, field_frequency=0.0)
+
+
+def test_counts_backend_energy_estimate():
+    ham = tfim_hamiltonian(2)
+    ansatz = RealAmplitudes(2, reps=1)
+    theta = np.array([0.4, -0.2, 0.1, 0.3])
+    circuit = ansatz.bind(theta)
+    exact = EnergyObjective(ansatz, ham).ideal_energy(theta)
+    backend = CountsBackend(seed=8)
+    estimate = backend.estimate_energy(circuit, ham, shots_per_group=200_000)
+    assert estimate == pytest.approx(exact, abs=0.02)
+
+
+def test_counts_backend_with_mitigated_readout():
+    ham = tfim_hamiltonian(2)
+    ansatz = RealAmplitudes(2, reps=1)
+    theta = np.array([0.7, 0.2, -0.4, 0.5])
+    circuit = ansatz.bind(theta)
+    exact = EnergyObjective(ansatz, ham).ideal_energy(theta)
+    readout = ReadoutError.uniform(2, 0.06)
+
+    raw = CountsBackend(readout_error=readout, seed=9)
+    mitigated = CountsBackend(
+        readout_error=readout, mitigate_readout=True, seed=9
+    )
+    err_raw = abs(raw.estimate_energy(circuit, ham, 100_000) - exact)
+    err_mit = abs(mitigated.estimate_energy(circuit, ham, 100_000) - exact)
+    assert err_mit < err_raw

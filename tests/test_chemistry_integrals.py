@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+
+from repro.chemistry.basis import angstrom_to_bohr, hydrogen_sto3g
+from repro.chemistry.integrals import (
+    boys_f0,
+    electron_repulsion_tensor,
+    kinetic_matrix,
+    nuclear_attraction_matrix,
+    nuclear_repulsion_energy,
+    overlap_matrix,
+)
+
+
+@pytest.fixture
+def h2_basis():
+    # Szabo & Ostlund's canonical H2 geometry: R = 1.4 Bohr.
+    nuclei = [(1.0, (0.0, 0.0, 0.0)), (1.0, (0.0, 0.0, 1.4))]
+    basis = [hydrogen_sto3g(pos) for _, pos in nuclei]
+    return basis, nuclei
+
+
+def test_boys_limits():
+    assert boys_f0(np.array(0.0)) == pytest.approx(1.0)
+    assert boys_f0(np.array(1e-14)) == pytest.approx(1.0, abs=1e-10)
+    # large-t asymptotic: F0(t) ~ 0.5 sqrt(pi/t)
+    t = 50.0
+    assert boys_f0(np.array(t)) == pytest.approx(0.5 * np.sqrt(np.pi / t), rel=1e-6)
+
+
+def test_overlap_normalized_diagonal(h2_basis):
+    basis, _ = h2_basis
+    s = overlap_matrix(basis)
+    assert s[0, 0] == pytest.approx(1.0, abs=1e-6)
+    assert s[1, 1] == pytest.approx(1.0, abs=1e-6)
+    # Szabo & Ostlund Table 3.5: S12 = 0.6593 for STO-3G at R=1.4
+    assert s[0, 1] == pytest.approx(0.6593, abs=2e-3)
+
+
+def test_kinetic_reference_values(h2_basis):
+    basis, _ = h2_basis
+    t = kinetic_matrix(basis)
+    # Szabo & Ostlund: T11 = 0.7600, T12 = 0.2365
+    assert t[0, 0] == pytest.approx(0.7600, abs=2e-3)
+    assert t[0, 1] == pytest.approx(0.2365, abs=2e-3)
+
+
+def test_nuclear_attraction_reference(h2_basis):
+    basis, nuclei = h2_basis
+    v = nuclear_attraction_matrix(basis, nuclei)
+    # Szabo & Ostlund: V11 (both nuclei) = -1.2266 + -0.6538 = -1.8804
+    assert v[0, 0] == pytest.approx(-1.8804, abs=5e-3)
+    assert np.allclose(v, v.T)
+
+
+def test_eri_reference_values(h2_basis):
+    basis, _ = h2_basis
+    eri = electron_repulsion_tensor(basis)
+    # Szabo & Ostlund Table 3.6 (chemists' notation):
+    # (11|11)=0.7746, (11|22)=0.5697, (21|21)=0.2970, (21|11)=0.4441
+    assert eri[0, 0, 0, 0] == pytest.approx(0.7746, abs=2e-3)
+    assert eri[0, 0, 1, 1] == pytest.approx(0.5697, abs=2e-3)
+    assert eri[1, 0, 1, 0] == pytest.approx(0.2970, abs=2e-3)
+    assert eri[1, 0, 0, 0] == pytest.approx(0.4441, abs=2e-3)
+
+
+def test_eri_symmetries(h2_basis):
+    basis, _ = h2_basis
+    eri = electron_repulsion_tensor(basis)
+    # 8-fold permutational symmetry of real orbitals
+    assert eri[0, 1, 0, 1] == pytest.approx(eri[1, 0, 0, 1], abs=1e-10)
+    assert eri[0, 1, 1, 0] == pytest.approx(eri[1, 0, 0, 1], abs=1e-10)
+    assert eri[0, 0, 0, 1] == pytest.approx(eri[0, 1, 0, 0], abs=1e-10)
+
+
+def test_nuclear_repulsion():
+    nuclei = [(1.0, (0, 0, 0)), (1.0, (0, 0, 1.4))]
+    assert nuclear_repulsion_energy(nuclei) == pytest.approx(1.0 / 1.4)
+    with pytest.raises(ValueError):
+        nuclear_repulsion_energy([(1.0, (0, 0, 0)), (1.0, (0, 0, 0))])
+
+
+def test_angstrom_conversion():
+    assert angstrom_to_bohr(1.0) == pytest.approx(1.8897259886)

@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.chemistry.basis import hydrogen_sto3g
+from repro.chemistry.h2 import dissociation_bond_lengths, h2_problem
+from repro.chemistry.hartree_fock import restricted_hartree_fock
+from repro.chemistry.jordan_wigner import (
+    annihilation_operator,
+    creation_operator,
+    molecular_hamiltonian_matrix,
+    number_operator,
+    sector_ground_energy,
+)
+
+
+def test_rhf_h2_equilibrium_energy():
+    nuclei = [(1.0, (0.0, 0.0, 0.0)), (1.0, (0.0, 0.0, 1.4))]
+    basis = [hydrogen_sto3g(pos) for _, pos in nuclei]
+    scf = restricted_hartree_fock(basis, nuclei, num_electrons=2)
+    # Szabo & Ostlund: E(RHF/STO-3G, R=1.4) = -1.1167 Ha
+    assert scf.energy == pytest.approx(-1.1167, abs=2e-3)
+    assert scf.nuclear_repulsion == pytest.approx(1.0 / 1.4)
+    assert scf.iterations >= 1
+
+
+def test_rhf_rejects_odd_electrons():
+    nuclei = [(1.0, (0.0, 0.0, 0.0))]
+    basis = [hydrogen_sto3g((0.0, 0.0, 0.0))]
+    with pytest.raises(ValueError):
+        restricted_hartree_fock(basis, nuclei, num_electrons=1)
+
+
+def test_jw_anticommutation():
+    n = 4
+    for i in range(n):
+        for j in range(n):
+            a_i = annihilation_operator(i, n)
+            a_j = annihilation_operator(j, n)
+            adag_j = creation_operator(j, n)
+            anti = a_i @ adag_j + adag_j @ a_i
+            expected = np.eye(2**n) if i == j else np.zeros((2**n, 2**n))
+            assert np.allclose(anti, expected, atol=1e-12)
+            assert np.allclose(a_i @ a_j + a_j @ a_i, 0.0, atol=1e-12)
+
+
+def test_number_operator_spectrum():
+    n = 3
+    eigs = np.linalg.eigvalsh(number_operator(n))
+    assert set(np.round(eigs).astype(int)) == {0, 1, 2, 3}
+
+
+def test_hamiltonian_conserves_particle_number():
+    problem = h2_problem(0.9)
+    # Build the matrix again and check commutation with N.
+    from repro.chemistry.basis import angstrom_to_bohr
+
+    sep = angstrom_to_bohr(0.9)
+    nuclei = [(1.0, (0, 0, 0)), (1.0, (0, 0, sep))]
+    basis = [hydrogen_sto3g(pos) for _, pos in nuclei]
+    scf = restricted_hartree_fock(basis, nuclei, 2)
+    h = molecular_hamiltonian_matrix(scf.hcore_mo, scf.eri_mo, scf.nuclear_repulsion)
+    n_op = number_operator(4)
+    assert np.allclose(h @ n_op - n_op @ h, 0.0, atol=1e-9)
+
+
+def test_h2_problem_equilibrium_fci():
+    problem = h2_problem(0.735)
+    # Textbook STO-3G values near equilibrium.
+    assert problem.hf_energy == pytest.approx(-1.117, abs=2e-3)
+    assert problem.fci_energy == pytest.approx(-1.1373, abs=2e-3)
+    assert problem.correlation_energy < 0
+    assert problem.num_qubits == 4
+    # qubit Hamiltonian ground state matches the 2-electron FCI energy
+    assert problem.hamiltonian.ground_state_energy() == pytest.approx(
+        problem.fci_energy, abs=1e-8
+    )
+
+
+def test_h2_dissociation_shape():
+    energies = [h2_problem(r).fci_energy for r in (0.4, 0.735, 2.0)]
+    # bell shape: minimum near equilibrium, repulsive wall at short r
+    assert energies[1] < energies[0]
+    assert energies[1] < energies[2]
+    # dissociation limit approaches two H atoms (~ -0.93 Ha in STO-3G)
+    assert energies[2] == pytest.approx(-0.94, abs=0.04)
+
+
+def test_h2_correlation_grows_with_bond_length():
+    short = h2_problem(0.5)
+    long = h2_problem(1.8)
+    assert abs(long.correlation_energy) > abs(short.correlation_energy)
+
+
+def test_sector_energy_consistency():
+    problem = h2_problem(1.0)
+    full_min = problem.hamiltonian.ground_state_energy()
+    assert problem.fci_energy == pytest.approx(full_min, abs=1e-8)
+
+
+def test_bond_length_grid():
+    grid = dissociation_bond_lengths(0.4, 2.0, 10)
+    assert len(grid) == 10
+    assert grid[0] == pytest.approx(0.4)
+    assert grid[-1] == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        dissociation_bond_lengths(count=1)
+
+
+def test_invalid_bond_length():
+    with pytest.raises(ValueError):
+        h2_problem(-0.1)

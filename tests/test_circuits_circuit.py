@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameter import Parameter
+
+
+def test_append_and_len():
+    qc = QuantumCircuit(2)
+    qc.h(0).cx(0, 1)
+    assert len(qc) == 2
+    assert qc[0].name == "h"
+    assert qc[1].qubits == (0, 1)
+
+
+def test_qubit_range_checks():
+    qc = QuantumCircuit(2)
+    with pytest.raises(ValueError):
+        qc.h(2)
+    with pytest.raises(ValueError):
+        qc.cx(0, 0)
+
+
+def test_gate_arity_checks():
+    qc = QuantumCircuit(2)
+    with pytest.raises(ValueError):
+        qc.append("cx", (0,))
+    with pytest.raises(ValueError):
+        qc.append("rx", (0,), ())
+    with pytest.raises(KeyError):
+        qc.append("foo", (0,))
+
+
+def test_parameters_first_appearance_order():
+    a, b = Parameter("a"), Parameter("b")
+    qc = QuantumCircuit(1)
+    qc.ry(b, 0)
+    qc.rz(a, 0)
+    qc.ry(b * 2.0, 0)
+    assert qc.parameters == (b, a)
+    assert qc.num_parameters == 2
+
+
+def test_bind_with_mapping_and_sequence():
+    theta = Parameter("t")
+    qc = QuantumCircuit(1)
+    qc.ry(theta, 0)
+    bound_map = qc.bind({theta: 0.5})
+    bound_seq = qc.bind([0.5])
+    assert bound_map[0].params == (0.5,)
+    assert bound_seq[0].params == (0.5,)
+    assert bound_map.num_parameters == 0
+
+
+def test_bind_expression():
+    theta = Parameter("t")
+    qc = QuantumCircuit(1)
+    qc.rz(2.0 * theta + 1.0, 0)
+    assert qc.bind({theta: 2.0})[0].params == (5.0,)
+
+
+def test_compose_with_mapping():
+    inner = QuantumCircuit(2)
+    inner.cx(0, 1)
+    outer = QuantumCircuit(3)
+    outer.compose(inner, qubits=[2, 0])
+    assert outer[0].qubits == (2, 0)
+
+
+def test_compose_length_mismatch():
+    inner = QuantumCircuit(2)
+    outer = QuantumCircuit(3)
+    with pytest.raises(ValueError):
+        outer.compose(inner, qubits=[0])
+
+
+def test_copy_is_independent():
+    qc = QuantumCircuit(1)
+    qc.x(0)
+    clone = qc.copy()
+    clone.x(0)
+    assert len(qc) == 1
+    assert len(clone) == 2
+
+
+def test_depth_and_counts():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.h(1)
+    qc.cx(0, 1)
+    qc.h(2)
+    qc.barrier()
+    assert qc.depth() == 2  # parallel Hs then CX; lone H on q2 is depth 1
+    assert qc.count_ops()["h"] == 3
+    assert qc.num_two_qubit_gates == 1
+
+
+def test_barrier_defaults_to_all_qubits():
+    qc = QuantumCircuit(3)
+    qc.barrier()
+    assert qc[0].qubits == (0, 1, 2)
+
+
+def test_repr_mentions_counts():
+    qc = QuantumCircuit(2, name="demo")
+    text = repr(qc)
+    assert "demo" in text and "qubits=2" in text

@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.circuits.gates import GATES, gate_matrix
+
+
+@pytest.mark.parametrize("name", sorted(GATES))
+def test_all_gates_are_unitary(name):
+    spec = GATES[name]
+    params = tuple(0.37 + 0.11 * i for i in range(spec.num_params))
+    matrix = spec.matrix(params)
+    dim = 2**spec.num_qubits
+    assert matrix.shape == (dim, dim)
+    assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+
+def test_known_matrices():
+    x = gate_matrix("x")
+    assert np.allclose(x, [[0, 1], [1, 0]])
+    h = gate_matrix("h")
+    assert np.allclose(h @ h, np.eye(2), atol=1e-12)
+    cx = gate_matrix("cx")
+    # |10> -> |11> in (control, target) ordering
+    state = np.zeros(4)
+    state[2] = 1.0
+    assert np.allclose(cx @ state, [0, 0, 0, 1])
+
+
+def test_rotation_periodicity():
+    rz0 = gate_matrix("rz", (0.0,))
+    rz4pi = gate_matrix("rz", (4 * np.pi,))
+    assert np.allclose(rz0, rz4pi, atol=1e-9)
+
+
+def test_rotation_composition():
+    a, b = 0.3, 0.9
+    composed = gate_matrix("ry", (a,)) @ gate_matrix("ry", (b,))
+    assert np.allclose(composed, gate_matrix("ry", (a + b,)), atol=1e-10)
+
+
+def test_sx_squared_is_x():
+    sx = gate_matrix("sx")
+    assert np.allclose(sx @ sx, gate_matrix("x"), atol=1e-10)
+
+
+def test_s_and_sdg_inverse():
+    assert np.allclose(gate_matrix("s") @ gate_matrix("sdg"), np.eye(2))
+
+
+def test_u_gate_covers_ry_rz():
+    theta = 0.7
+    # u(theta, 0, 0) equals ry(theta) up to global phase; here exactly.
+    assert np.allclose(gate_matrix("u", (theta, 0.0, 0.0)), gate_matrix("ry", (theta,)))
+
+
+def test_param_count_enforced():
+    with pytest.raises(ValueError):
+        gate_matrix("rx", ())
+    with pytest.raises(ValueError):
+        gate_matrix("h", (1.0,))
+
+
+def test_unknown_gate():
+    with pytest.raises(KeyError):
+        gate_matrix("nope")
+
+
+def test_rzz_diagonal():
+    theta = 0.8
+    mat = gate_matrix("rzz", (theta,))
+    assert np.allclose(mat, np.diag(np.diag(mat)))
+
+
+def test_crx_controls_correctly():
+    theta = 1.1
+    mat = gate_matrix("crx", (theta,))
+    assert np.allclose(mat[:2, :2], np.eye(2))
+    assert np.allclose(mat[2:, 2:], gate_matrix("rx", (theta,)))

@@ -1,0 +1,51 @@
+import numpy as np
+import pytest
+
+from repro.circuits.library import (
+    bell_pair,
+    ghz_circuit,
+    layered_cx_circuit,
+    random_circuit,
+)
+from repro.simulator.statevector import simulate_statevector
+
+
+def test_bell_pair_state():
+    sv = simulate_statevector(bell_pair())
+    expected = np.zeros(4, dtype=complex)
+    expected[0] = expected[3] = 1 / np.sqrt(2)
+    assert np.allclose(sv, expected)
+
+
+def test_ghz_state():
+    sv = simulate_statevector(ghz_circuit(4))
+    assert abs(sv[0]) ** 2 == pytest.approx(0.5, abs=1e-12)
+    assert abs(sv[-1]) ** 2 == pytest.approx(0.5, abs=1e-12)
+    assert np.sum(np.abs(sv) ** 2) == pytest.approx(1.0)
+
+
+def test_ghz_minimum_size():
+    with pytest.raises(ValueError):
+        ghz_circuit(1)
+
+
+def test_random_circuit_deterministic_by_seed():
+    a = random_circuit(3, 20, seed=5)
+    b = random_circuit(3, 20, seed=5)
+    assert [i.name for i in a] == [i.name for i in b]
+    assert len(a) == 20
+
+
+def test_random_circuit_validation():
+    with pytest.raises(ValueError):
+        random_circuit(2, 0)
+    with pytest.raises(ValueError):
+        random_circuit(2, 5, two_qubit_fraction=1.5)
+
+
+def test_layered_cx_counts():
+    qc = layered_cx_circuit(4, 6, seed=3)
+    ops = qc.count_ops()
+    assert ops["ry"] == 24
+    # alternating brick pattern: 2 or 1 CX per layer on 4 qubits
+    assert 6 <= ops["cx"] <= 12

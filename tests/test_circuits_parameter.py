@@ -1,0 +1,52 @@
+import pytest
+
+from repro.circuits.parameter import Parameter, ParameterExpression, ParameterVector
+
+
+def test_parameter_identity_not_name():
+    a1, a2 = Parameter("a"), Parameter("a")
+    assert a1 != a2
+    assert a1 == a1
+    assert len({a1, a2}) == 2
+
+
+def test_parameter_bind():
+    theta = Parameter("theta")
+    assert theta.bind({theta: 1.25}) == 1.25
+    with pytest.raises(KeyError):
+        theta.bind({})
+
+
+def test_expression_affine_arithmetic():
+    theta = Parameter("t")
+    expr = 2.0 * theta + 1.0
+    assert isinstance(expr, ParameterExpression)
+    assert expr.bind({theta: 3.0}) == pytest.approx(7.0)
+    assert (-expr).bind({theta: 3.0}) == pytest.approx(-7.0)
+    assert (expr - 1.0).bind({theta: 3.0}) == pytest.approx(6.0)
+
+
+def test_expression_right_ops():
+    theta = Parameter("t")
+    assert (1.0 + theta * 3.0).bind({theta: 2.0}) == pytest.approx(7.0)
+
+
+def test_parameter_vector_basics():
+    vec = ParameterVector("p", 4)
+    assert len(vec) == 4
+    assert vec[2].name == "p[2]"
+    names = [p.name for p in vec]
+    assert names == ["p[0]", "p[1]", "p[2]", "p[3]"]
+
+
+def test_parameter_vector_bind_array():
+    vec = ParameterVector("p", 3)
+    values = vec.bind_array([0.1, 0.2, 0.3])
+    assert values[vec[1]] == pytest.approx(0.2)
+    with pytest.raises(ValueError):
+        vec.bind_array([1.0])
+
+
+def test_parameter_vector_negative_length():
+    with pytest.raises(ValueError):
+        ParameterVector("p", -1)

@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+
+from repro.core.controller import ControllerDecision, QismetController
+from repro.core.estimator import TransientEstimate
+from repro.core.thresholds import (
+    FixedThreshold,
+    OnlinePercentileThreshold,
+    RobustNoiseThreshold,
+    TraceCalibratedThreshold,
+)
+from repro.noise.transient.trace import TransientTrace
+
+
+def _flip(tm=1.5):
+    """An estimate whose transient flips the gradient direction."""
+    return TransientEstimate(em_prev=0.0, em_rerun=tm, em_new=1.0)
+
+
+def _clean():
+    return TransientEstimate(em_prev=0.0, em_rerun=0.01, em_new=-0.2)
+
+
+def _warm(controller, n=20):
+    for _ in range(n):
+        controller.decide(_clean(), retries_so_far=0)
+
+
+def test_accept_clean_iterations():
+    controller = QismetController(threshold=FixedThreshold(0.1))
+    _warm(controller)
+    assert controller.decide(_clean(), 0) is ControllerDecision.ACCEPT
+
+
+def test_retry_on_flip_then_budget():
+    controller = QismetController(
+        threshold=FixedThreshold(0.1), retry_budget=2, max_skip_fraction=1.0,
+        warmup_decisions=0,
+    )
+    _warm(controller)
+    assert controller.decide(_flip(), 0) is ControllerDecision.RETRY
+    assert controller.decide(_flip(), 1) is ControllerDecision.RETRY
+    assert controller.decide(_flip(), 2) is ControllerDecision.FORCED_ACCEPT
+    assert controller.stats.forced_accepts == 1
+
+
+def test_skip_budget_limits_fraction():
+    controller = QismetController(
+        threshold=FixedThreshold(0.1), max_skip_fraction=0.10,
+        warmup_decisions=0,
+    )
+    _warm(controller, 100)
+    skipped = 0
+    for _ in range(100):
+        decision = controller.decide(_flip(), 0)
+        if decision is ControllerDecision.RETRY:
+            skipped += 1
+            # pretend retry succeeded next attempt
+            controller.decide(_clean(), 1)
+    assert controller.stats.skip_fraction <= 0.11
+    assert controller.stats.budget_accepts > 0
+
+
+def test_threshold_only_fed_on_first_attempts():
+    threshold = RobustNoiseThreshold(warmup=1)
+    controller = QismetController(threshold=threshold, max_skip_fraction=1.0,
+                                  warmup_decisions=0)
+    controller.decide(_flip(5.0), 0)
+    count_after_first = len(threshold._values)
+    controller.decide(_flip(5.0), 1)  # retry re-measurement
+    assert len(threshold._values) == count_after_first
+
+
+def test_retry_budget_validation():
+    with pytest.raises(ValueError):
+        QismetController(retry_budget=-1)
+    with pytest.raises(ValueError):
+        QismetController(max_skip_fraction=1.5)
+
+
+def test_fixed_threshold():
+    assert FixedThreshold(0.5).current() == 0.5
+    with pytest.raises(ValueError):
+        FixedThreshold(-1.0)
+
+
+def test_online_percentile_threshold_warmup_and_value():
+    threshold = OnlinePercentileThreshold(percentile=50.0, warmup=3)
+    assert threshold.current() == float("inf")
+    for v in (1.0, 2.0, 3.0):
+        threshold.observe(v)
+    assert threshold.current() == pytest.approx(2.0)
+
+
+def test_robust_threshold_ignores_outliers():
+    threshold = RobustNoiseThreshold(multiplier=4.0, warmup=4)
+    # bulk at sigma ~ 0.05, plus massive outliers
+    rng = np.random.default_rng(0)
+    for _ in range(100):
+        threshold.observe(abs(rng.normal(0, 0.05)))
+    for _ in range(20):
+        threshold.observe(5.0)
+    tau = threshold.current()
+    # stays near 4 * 0.05, far below the outlier level
+    assert 0.05 < tau < 0.6
+
+
+def test_robust_threshold_validation():
+    with pytest.raises(ValueError):
+        RobustNoiseThreshold(multiplier=0.0)
+    with pytest.raises(ValueError):
+        RobustNoiseThreshold(window=2)
+
+
+def test_trace_calibrated_threshold():
+    trace = TransientTrace(np.concatenate([np.zeros(90), np.full(10, 0.8)]))
+    threshold = TraceCalibratedThreshold(trace, percentile=95.0, reference_scale=2.0)
+    assert threshold.current() == pytest.approx(1.6)
+    with pytest.raises(ValueError):
+        TraceCalibratedThreshold(trace, reference_scale=0.0)
+
+
+def test_stats_tracking():
+    controller = QismetController(threshold=FixedThreshold(0.1),
+                                  max_skip_fraction=1.0, warmup_decisions=0)
+    controller.decide(_clean(), 0)
+    controller.decide(_flip(), 0)
+    assert controller.stats.decisions == 2
+    assert controller.stats.first_attempts == 2
+    assert len(controller.stats.tm_history) == 2
+    assert controller.stats.skipped_iterations == 1

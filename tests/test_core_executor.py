@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.ansatz.real_amplitudes import RealAmplitudes
+from repro.backends.ideal import IdealBackend
+from repro.backends.transient import TransientBackend
+from repro.core.controller import QismetController
+from repro.core.executor import GuardedEvaluator, PlainEvaluator
+from repro.core.thresholds import FixedThreshold
+from repro.hamiltonians.tfim import tfim_hamiltonian
+from repro.noise.noise_model import NoiseModel
+from repro.noise.transient.trace import TransientTrace
+from repro.vqa.objective import EnergyObjective
+
+
+@pytest.fixture
+def objective():
+    return EnergyObjective(RealAmplitudes(3, reps=1), tfim_hamiltonian(3))
+
+
+def _noiseless_transient_backend(objective, trace_values):
+    trace = TransientTrace(np.asarray(trace_values, dtype=float),
+                           metadata={"seed": 1.0})
+    return TransientBackend(
+        objective, trace, noise_model=NoiseModel.ideal(), shots=10**12,
+        seed=3, state_sensitivity=0.0, exposure_jitter=0.0,
+    )
+
+
+def test_plain_evaluator_one_job_per_call(objective):
+    backend = IdealBackend(objective)
+    evaluator = PlainEvaluator(backend)
+    theta = objective.initial_point(seed=1)
+    evaluator.energy(theta)
+    evaluator.energy(theta)
+    assert backend.job_counter == 2
+    assert evaluator.total_retries == 0
+
+
+def test_guarded_evaluator_runs_reference_rerun(objective):
+    backend = IdealBackend(objective)
+    controller = QismetController(threshold=FixedThreshold(10.0))
+    evaluator = GuardedEvaluator(backend, controller)
+    theta = objective.initial_point(seed=1)
+    evaluator.energy(theta)          # first: no reference yet -> 1 circuit
+    evaluator.energy(theta + 0.01)   # second: candidate + rerun -> 2 circuits
+    assert backend.total_circuits == 3
+    assert backend.job_counter == 2
+
+
+def test_guarded_evaluator_retries_through_spike(objective):
+    # Trace: quiet, quiet, SPIKE, quiet... The third evaluation lands on
+    # the spike, gets retried once, and succeeds in the quiet job after.
+    backend = _noiseless_transient_backend(objective, [0.0, 0.0, 0.9, 0.0, 0.0, 0.0])
+    controller = QismetController(
+        threshold=FixedThreshold(0.05), retry_budget=5,
+        max_skip_fraction=1.0, warmup_decisions=0,
+    )
+    evaluator = GuardedEvaluator(backend, controller)
+    theta = objective.initial_point(seed=2)
+
+    e0 = evaluator.energy(theta)            # job 0, quiet
+    e1 = evaluator.energy(theta + 0.05)     # job 1, quiet
+    e2 = evaluator.energy(theta + 0.10)     # job 2 spiked -> retry -> job 3
+    assert evaluator.total_retries == 1
+    assert backend.job_counter == 4
+    # the accepted value comes from the clean job
+    clean = objective.ideal_energy(theta + 0.10)
+    assert e2 == pytest.approx(clean, abs=1e-6)
+
+
+def test_guarded_evaluator_forced_accept_on_long_transient(objective):
+    backend = _noiseless_transient_backend(objective, [0.0, 0.0] + [0.9] * 10)
+    controller = QismetController(
+        threshold=FixedThreshold(0.05), retry_budget=3,
+        max_skip_fraction=1.0, warmup_decisions=0,
+    )
+    evaluator = GuardedEvaluator(backend, controller)
+    theta = objective.initial_point(seed=2)
+    evaluator.energy(theta)
+    evaluator.energy(theta + 0.05)
+    value = evaluator.energy(theta + 0.10)  # enters the long transient
+    assert controller.stats.forced_accepts == 1
+    assert evaluator.total_retries == 3
+    # value is corrupted (the transient was eventually accepted)
+    clean = objective.ideal_energy(theta + 0.10)
+    assert value > clean + 1.0
+
+
+def test_guarded_evaluator_accepts_aligned_transient(objective):
+    # Spike hits BOTH candidate and rerun equally; candidate truly improves
+    # so Gm and Gp stay negative -> accepted without retries (Fig. 9 d/e).
+    backend = _noiseless_transient_backend(objective, [0.0, 0.3, 0.3])
+    controller = QismetController(
+        threshold=FixedThreshold(0.05), max_skip_fraction=1.0,
+        warmup_decisions=0,
+    )
+    evaluator = GuardedEvaluator(backend, controller)
+    theta = objective.initial_point(seed=2)
+    evaluator.energy(theta)
+    # jump to a far better point so deltaE dominates the transient delta
+    better = theta * 0.0 + 0.7
+    evaluator.energy(better)
+    assert evaluator.total_retries == 0
+
+
+def test_guarded_evaluator_reset(objective):
+    backend = IdealBackend(objective)
+    evaluator = GuardedEvaluator(backend, QismetController())
+    evaluator.energy(objective.initial_point(seed=1))
+    evaluator.reset()
+    assert evaluator._last_theta is None
+    assert backend.job_counter == 0

@@ -1,0 +1,135 @@
+import numpy as np
+import pytest
+
+from repro.devices.calibration import CalibrationSnapshot
+from repro.devices.coupling import (
+    CouplingMap,
+    falcon_map,
+    grid_map,
+    line_map,
+    ring_map,
+)
+from repro.devices.ibmq_fake import available_machines, get_device
+
+
+def test_line_ring_grid():
+    assert line_map(4).edges == [(0, 1), (1, 2), (2, 3)]
+    assert len(ring_map(5).edges) == 5
+    assert grid_map(2, 3).num_qubits == 6
+    assert grid_map(2, 3).are_connected(0, 3)
+
+
+def test_coupling_validation():
+    with pytest.raises(ValueError):
+        CouplingMap(2, [(0, 2)])
+    with pytest.raises(ValueError):
+        CouplingMap(2, [(0, 0)])
+
+
+def test_falcon_maps_connected():
+    for n in (7, 16, 27):
+        cmap = falcon_map(n)
+        assert cmap.num_qubits == n
+        assert cmap.is_connected_graph()
+    with pytest.raises(ValueError):
+        falcon_map(12)
+
+
+def test_falcon_7q_h_shape():
+    cmap = falcon_map(7)
+    # hub qubits 1 and 5 have degree 3 on the real Casablanca/Jakarta
+    assert len(cmap.neighbors(1)) == 3
+    assert len(cmap.neighbors(5)) == 3
+
+
+def test_distance_and_path():
+    cmap = line_map(5)
+    assert cmap.distance(0, 4) == 4
+    assert cmap.shortest_path(0, 2) == [0, 1, 2]
+
+
+def test_best_linear_chain():
+    # The 7q H-shaped Falcon has no simple 6-path (longest chain is 5);
+    # the 16q and 27q heavy-hex devices host 6-chains easily.
+    chain5 = falcon_map(7).best_linear_chain(5)
+    assert len(set(chain5)) == 5
+    with pytest.raises(ValueError):
+        falcon_map(7).best_linear_chain(6)
+    for n in (16, 27):
+        cmap = falcon_map(n)
+        chain = cmap.best_linear_chain(6)
+        assert len(set(chain)) == 6
+        for a, b in zip(chain, chain[1:]):
+            assert cmap.are_connected(a, b)
+
+
+def test_chain_too_long_raises():
+    with pytest.raises(ValueError):
+        line_map(3).best_linear_chain(4)
+
+
+def test_calibration_generation_bounds():
+    cal = CalibrationSnapshot.generate(7, 6, seed=3)
+    assert cal.num_qubits == 7
+    assert np.all(cal.t2_us <= 2 * cal.t1_us + 1e-9)
+    assert np.all(cal.single_qubit_errors > 0)
+    assert np.all(cal.readout_errors < 0.5)
+
+
+def test_calibration_refresh_changes_values():
+    cal = CalibrationSnapshot.generate(5, 4, seed=1)
+    new = cal.refresh(seed=2)
+    assert new.cycle == cal.cycle + 1
+    assert not np.allclose(new.t1_us, cal.t1_us)
+    assert np.all(new.t2_us <= 2 * new.t1_us + 1e-9)
+
+
+def test_calibration_validation():
+    with pytest.raises(ValueError):
+        CalibrationSnapshot(
+            t1_us=np.array([10.0]),
+            t2_us=np.array([30.0]),  # violates T2 <= 2 T1
+            single_qubit_errors=np.array([1e-3]),
+            two_qubit_errors=np.array([1e-2]),
+            readout_errors=np.array([1e-2]),
+        )
+
+
+def test_all_paper_machines_available():
+    machines = available_machines()
+    for name in ("guadalupe", "toronto", "sydney", "casablanca", "jakarta", "mumbai", "cairo"):
+        assert name in machines
+
+
+def test_get_device_properties():
+    device = get_device("Guadalupe")
+    assert device.num_qubits == 16
+    assert device.name == "guadalupe"
+    nm = device.noise_model()
+    assert 0 < nm.two_qubit_error < 0.1
+    readout = device.readout_error()
+    assert readout.num_qubits == 16
+    assert device.mean_t1_us() > 20
+
+
+def test_get_device_deterministic():
+    a = get_device("toronto")
+    b = get_device("toronto")
+    assert np.allclose(a.calibration.t1_us, b.calibration.t1_us)
+
+
+def test_unknown_device():
+    with pytest.raises(KeyError):
+        get_device("nairobi")
+
+
+def test_device_transient_trace_and_recalibrate():
+    device = get_device("jakarta")
+    trace = device.transient_trace(300, seed=4)
+    assert len(trace) == 300
+    assert trace.machine == "jakarta"
+    scaled = device.transient_trace(300, seed=4, magnitude_scale=2.0)
+    assert np.abs(scaled.values).max() > np.abs(trace.values).max()
+    recal = device.recalibrate(seed=9)
+    assert recal.calibration.cycle == 1
+    assert recal.name == device.name

@@ -1,0 +1,90 @@
+"""End-to-end integration tests for the QISMET pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import fig3_t1_transients, fig4_circuit_fidelity
+from repro.experiments.registry import get_app
+from repro.experiments.runner import run_comparison
+from repro.hamiltonians.tfim import tfim_exact_ground_energy
+
+
+@pytest.fixture(scope="module")
+def small_comparison():
+    """One shared reduced-scale comparison used by several assertions."""
+    app = get_app("App2")
+    return run_comparison(
+        app,
+        ["noise-free", "static-only", "baseline", "qismet"],
+        iterations=120,
+        seed=11,
+    )
+
+
+def test_fig1_line_ordering(small_comparison):
+    """The paper's Fig. 1 story: ideal <= static-only <= transient baseline.
+
+    (Energies; lower is better. QISMET sits between the transient baseline
+    and the static-only line in expectation; at small scale we only assert
+    the ideal/static/transient ordering loosely.)
+    """
+    finals = {
+        name: result.tail_true_energy()
+        for name, result in small_comparison.results.items()
+    }
+    assert finals["noise-free"] <= finals["static-only"] + 0.4
+    assert finals["static-only"] <= finals["baseline"] + 0.6
+
+
+def test_all_runs_descend(small_comparison):
+    ground = tfim_exact_ground_energy(6)
+    for name, result in small_comparison.results.items():
+        energies = result.true_energies
+        # Short runs can start with a transient kick or end inside a
+        # burst; assert the optimizer makes progress from its worst point
+        # and energies never dip below the exact ground energy.
+        tail = float(np.mean(energies[-20:]))
+        assert tail < np.max(energies) - 0.5, name
+        assert np.all(energies > ground - 1e-6), name
+
+
+def test_qismet_overhead_is_2x_circuits(small_comparison):
+    base = small_comparison.results["baseline"]
+    qis = small_comparison.results["qismet"]
+    assert base.total_circuits == base.total_jobs
+    assert qis.total_circuits >= 2 * qis.total_jobs - 2
+
+
+def test_qismet_skip_rate_bounded(small_comparison):
+    qis = small_comparison.results["qismet"]
+    # 10% budget times retry multiplicity (max 5) bounds extra jobs.
+    assert qis.total_jobs <= 1.6 * small_comparison.results["baseline"].total_jobs
+
+
+def test_comparison_is_deterministic():
+    app = get_app("App1")
+    a = run_comparison(app, ["baseline"], iterations=30, seed=3)
+    b = run_comparison(app, ["baseline"], iterations=30, seed=3)
+    assert np.allclose(
+        a.results["baseline"].machine_energies,
+        b.results["baseline"].machine_energies,
+    )
+
+
+def test_trace_scale_monotonicity():
+    """More transient noise cannot help the baseline (paper Fig. 10)."""
+    app = get_app("App1")
+    finals = []
+    for scale in (0.0, 3.0):
+        comp = run_comparison(
+            app, ["baseline"], iterations=150, seed=9, trace_scale=scale
+        )
+        finals.append(comp.results["baseline"].tail_true_energy())
+    assert finals[0] < finals[1] + 0.2
+
+
+def test_figure_builders_cheap_ones_run():
+    fig3 = fig3_t1_transients(hours=10.0, seed=1)
+    assert len(fig3["t1_us"]) > 10
+    fig4 = fig4_circuit_fidelity(hours=10, seed=2)
+    assert fig4["deep"]["mean_fidelity"] < fig4["shallow"]["mean_fidelity"]

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.noise.channels import (
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    is_cptp,
+    phase_damping_kraus,
+    phase_flip_kraus,
+    thermal_relaxation_kraus,
+)
+
+
+@pytest.mark.parametrize("p", [0.0, 0.1, 0.5, 1.0])
+def test_all_single_qubit_channels_cptp(p):
+    for maker in (
+        lambda: depolarizing_kraus(p, 1),
+        lambda: amplitude_damping_kraus(p),
+        lambda: phase_damping_kraus(p),
+        lambda: bit_flip_kraus(p),
+        lambda: phase_flip_kraus(p),
+    ):
+        assert is_cptp(maker())
+
+
+@pytest.mark.parametrize("p", [0.0, 0.3, 1.0])
+def test_two_qubit_depolarizing_cptp(p):
+    assert is_cptp(depolarizing_kraus(p, 2))
+
+
+def test_depolarizing_on_z_expectation():
+    # <Z> under depolarizing(p): scales by (1-p).
+    rho = np.diag([1.0, 0.0]).astype(complex)
+    p = 0.4
+    out = sum(k @ rho @ k.conj().T for k in depolarizing_kraus(p, 1))
+    z = np.diag([1.0, -1.0])
+    assert np.trace(out @ z).real == pytest.approx(1.0 - p, abs=1e-10)
+
+
+def test_amplitude_damping_decays_excited_state():
+    rho = np.diag([0.0, 1.0]).astype(complex)
+    gamma = 0.3
+    out = sum(k @ rho @ k.conj().T for k in amplitude_damping_kraus(gamma))
+    assert out[0, 0].real == pytest.approx(gamma)
+    assert out[1, 1].real == pytest.approx(1 - gamma)
+
+
+def test_phase_damping_kills_coherence_only():
+    rho = 0.5 * np.ones((2, 2), dtype=complex)
+    lam = 0.5
+    out = sum(k @ rho @ k.conj().T for k in phase_damping_kraus(lam))
+    assert out[0, 0].real == pytest.approx(0.5)
+    assert abs(out[0, 1]) < 0.5
+
+
+def test_thermal_relaxation_cptp_and_limits():
+    ops = thermal_relaxation_kraus(t1=50.0, t2=70.0, gate_time=0.1)
+    assert is_cptp(ops)
+    with pytest.raises(ValueError):
+        thermal_relaxation_kraus(t1=10.0, t2=25.0, gate_time=0.1)
+    with pytest.raises(ValueError):
+        thermal_relaxation_kraus(t1=-1.0, t2=1.0, gate_time=0.1)
+
+
+def test_thermal_relaxation_coherence_decay_rate():
+    t1, t2, dt = 80.0, 60.0, 5.0
+    ops = thermal_relaxation_kraus(t1, t2, dt)
+    plus = 0.5 * np.ones((2, 2), dtype=complex)
+    out = sum(k @ plus @ k.conj().T for k in ops)
+    assert abs(out[0, 1]) == pytest.approx(0.5 * np.exp(-dt / t2), abs=1e-10)
+
+
+def test_probability_validation():
+    with pytest.raises(ValueError):
+        depolarizing_kraus(1.5)
+    with pytest.raises(ValueError):
+        bit_flip_kraus(-0.1)
+    with pytest.raises(ValueError):
+        depolarizing_kraus(0.1, 3)
+
+
+def test_is_cptp_rejects_non_channel():
+    assert not is_cptp([np.eye(2) * 2.0])
+    assert not is_cptp([])

@@ -1,0 +1,45 @@
+import numpy as np
+import pytest
+
+from repro.operators.decompose import pauli_coefficients, pauli_decompose
+from repro.operators.pauli import pauli_matrix
+from repro.operators.pauli_sum import PauliSum
+
+
+def test_round_trip():
+    original = PauliSum([(0.5, "XZ"), (-1.25, "YI"), (0.75, "II")])
+    recovered = pauli_decompose(original.to_matrix())
+    recovered_map = {t.pauli.label: t.coefficient for t in recovered.terms}
+    for term in original.terms:
+        assert recovered_map[term.pauli.label] == pytest.approx(term.coefficient)
+
+
+def test_random_hermitian_reconstruction():
+    rng = np.random.default_rng(3)
+    raw = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+    hermitian = raw + raw.conj().T
+    decomposed = pauli_decompose(hermitian)
+    assert np.allclose(decomposed.to_matrix(), hermitian, atol=1e-9)
+
+
+def test_non_hermitian_rejected():
+    matrix = np.array([[0, 1], [0, 0]], dtype=complex)
+    with pytest.raises(ValueError):
+        pauli_decompose(matrix)
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(ValueError):
+        pauli_decompose(np.eye(3))
+    with pytest.raises(ValueError):
+        pauli_decompose(np.ones((2, 4)))
+
+
+def test_single_pauli_isolated():
+    coefficients = pauli_coefficients(3.0 * pauli_matrix("ZX"))
+    assert coefficients == {"ZX": pytest.approx(3.0)}
+
+
+def test_zero_matrix():
+    decomposed = pauli_decompose(np.zeros((2, 2)))
+    assert decomposed.terms[0].coefficient == 0.0

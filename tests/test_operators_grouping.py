@@ -1,0 +1,68 @@
+import pytest
+
+from repro.hamiltonians.tfim import tfim_hamiltonian
+from repro.operators.grouping import (
+    group_commuting_terms,
+    measurement_bases,
+    qubitwise_commutes,
+)
+from repro.operators.pauli import PauliString
+from repro.operators.pauli_sum import PauliSum
+
+
+def test_qwc_basics():
+    assert qubitwise_commutes(PauliString("XI"), PauliString("IX"))
+    assert qubitwise_commutes(PauliString("XI"), PauliString("XZ"))
+    assert not qubitwise_commutes(PauliString("XI"), PauliString("ZI"))
+    with pytest.raises(ValueError):
+        qubitwise_commutes(PauliString("X"), PauliString("XX"))
+
+
+def test_groups_are_internally_qwc():
+    ham = tfim_hamiltonian(5)
+    groups = group_commuting_terms(ham)
+    for group in groups:
+        non_identity = [t for t in group if not t.pauli.is_identity]
+        for i in range(len(non_identity)):
+            for j in range(i + 1, len(non_identity)):
+                assert qubitwise_commutes(
+                    non_identity[i].pauli, non_identity[j].pauli
+                )
+
+
+def test_groups_cover_all_terms():
+    ham = PauliSum([(1.0, "XX"), (0.5, "ZZ"), (0.2, "XI"), (0.1, "II")])
+    groups = group_commuting_terms(ham)
+    grouped = [t.pauli.label for g in groups for t in g]
+    assert sorted(grouped) == sorted(t.pauli.label for t in ham.terms)
+
+
+def test_tfim_groups_into_two():
+    # TFIM's ZZ terms all QWC with each other, X terms likewise -> 2 groups.
+    ham = tfim_hamiltonian(6)
+    assert len(group_commuting_terms(ham)) == 2
+
+
+def test_identity_only():
+    ham = PauliSum([(2.0, "II")])
+    groups = group_commuting_terms(ham)
+    assert len(groups) == 1
+    assert groups[0][0].pauli.is_identity
+
+
+def test_measurement_bases_merge():
+    ham = PauliSum([(1.0, "XI"), (1.0, "IX")])
+    groups = group_commuting_terms(ham)
+    assert len(groups) == 1
+    assert measurement_bases(groups[0]) == "XX"
+
+
+def test_measurement_bases_default_z():
+    ham = PauliSum([(1.0, "ZI")])
+    groups = group_commuting_terms(ham)
+    assert measurement_bases(groups[0]) == "ZZ"
+
+
+def test_measurement_bases_empty():
+    with pytest.raises(ValueError):
+        measurement_bases([])

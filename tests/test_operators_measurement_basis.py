@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.operators.measurement_basis import basis_rotation_circuit, diagonal_value
+from repro.operators.pauli import PauliString
+from repro.simulator.statevector import simulate_statevector
+from repro.circuits.circuit import QuantumCircuit
+
+
+def test_rotation_circuit_structure():
+    circuit = basis_rotation_circuit("XYZ")
+    names = [inst.name for inst in circuit]
+    # X -> h ; Y -> sdg, h ; Z -> nothing
+    assert names == ["h", "sdg", "h"]
+
+
+def test_invalid_basis_character():
+    with pytest.raises(ValueError):
+        basis_rotation_circuit("XA")
+
+
+def test_diagonal_value_parity():
+    assert diagonal_value("ZZ", "00") == 1
+    assert diagonal_value("ZZ", "01") == -1
+    assert diagonal_value("ZI", "01") == 1
+    assert diagonal_value("II", "11") == 1
+    with pytest.raises(ValueError):
+        diagonal_value("Z", "00")
+
+
+def test_rotation_diagonalizes_x_measurement():
+    # <+|X|+> = 1: preparing |+> and rotating X->Z must always read 0.
+    prep = QuantumCircuit(1)
+    prep.h(0)
+    prep.compose(basis_rotation_circuit("X"))
+    sv = simulate_statevector(prep)
+    assert abs(sv[0]) ** 2 == pytest.approx(1.0, abs=1e-10)
+
+
+def test_rotation_diagonalizes_y_measurement():
+    # |i> = (|0> + i|1>)/sqrt(2) has <Y> = 1.
+    prep = QuantumCircuit(1)
+    prep.h(0)
+    prep.s(0)
+    prep.compose(basis_rotation_circuit("Y"))
+    sv = simulate_statevector(prep)
+    assert abs(sv[0]) ** 2 == pytest.approx(1.0, abs=1e-10)
+
+
+def test_expectation_via_rotated_sampling_matches_exact():
+    from repro.circuits.library import random_circuit
+    from repro.simulator.sampling import sample_counts
+    from repro.simulator.expectation import expectation_from_counts
+    from repro.operators.pauli_sum import PauliTerm
+
+    circuit = random_circuit(2, 12, seed=13)
+    pauli = PauliString("XY")
+    exact = pauli.expectation(simulate_statevector(circuit))
+
+    measured = circuit.copy()
+    measured.compose(basis_rotation_circuit("XY"))
+    counts = sample_counts(simulate_statevector(measured), shots=400_000, seed=5)
+    estimate = expectation_from_counts(counts, [PauliTerm(1.0, pauli)])
+    assert estimate == pytest.approx(exact, abs=0.01)

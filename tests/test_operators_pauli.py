@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.circuits.library import random_circuit
+from repro.operators.pauli import PauliString, pauli_matrix
+from repro.simulator.statevector import simulate_statevector
+
+
+def test_label_validation():
+    with pytest.raises(ValueError):
+        PauliString("AB")
+    with pytest.raises(ValueError):
+        PauliString("")
+    assert PauliString("xyz").label == "XYZ"
+
+
+def test_identity_support_weight():
+    p = PauliString("IXIZ")
+    assert not p.is_identity
+    assert p.support == (1, 3)
+    assert p.weight == 2
+    assert PauliString("II").is_identity
+
+
+def test_equality_and_hash():
+    assert PauliString("XY") == PauliString("XY")
+    assert len({PauliString("XY"), PauliString("XY"), PauliString("YX")}) == 2
+
+
+def test_commutation_rules():
+    assert PauliString("XX").commutes_with(PauliString("ZZ"))  # two anticommuting sites
+    assert not PauliString("XI").commutes_with(PauliString("ZI"))
+    assert PauliString("XI").commutes_with(PauliString("IZ"))
+
+
+def test_multiplication_phases():
+    phase, product = PauliString("X").multiply(PauliString("Y"))
+    assert phase == 1j and product.label == "Z"
+    phase, product = PauliString("Y").multiply(PauliString("X"))
+    assert phase == -1j and product.label == "Z"
+    phase, product = PauliString("XZ").multiply(PauliString("XZ"))
+    assert phase == 1 and product.label == "II"
+
+
+def test_multiply_matches_matrices():
+    a, b = PauliString("XYZ"), PauliString("ZZX")
+    phase, product = a.multiply(b)
+    lhs = a.to_matrix() @ b.to_matrix()
+    rhs = phase * product.to_matrix()
+    assert np.allclose(lhs, rhs)
+
+
+@pytest.mark.parametrize("label", ["XIZ", "YYI", "ZXY", "III"])
+def test_apply_to_state_matches_matrix(label):
+    sv = simulate_statevector(random_circuit(3, 20, seed=6))
+    tensor = sv.reshape((2, 2, 2))
+    applied = PauliString(label).apply_to_state(tensor).reshape(-1)
+    expected = pauli_matrix(label) @ sv
+    assert np.allclose(applied, expected, atol=1e-10)
+
+
+def test_apply_does_not_mutate_input():
+    sv = simulate_statevector(random_circuit(2, 10, seed=3))
+    tensor = sv.reshape((2, 2))
+    before = tensor.copy()
+    PauliString("ZY").apply_to_state(tensor)
+    assert np.allclose(tensor, before)
+
+
+def test_expectation_real_and_bounded():
+    sv = simulate_statevector(random_circuit(3, 30, seed=11))
+    for label in ("XXI", "ZZZ", "IYX"):
+        value = PauliString(label).expectation(sv)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+def test_expectation_known_state():
+    # |0> : <Z> = 1, <X> = 0
+    sv = np.array([1.0, 0.0], dtype=complex)
+    assert PauliString("Z").expectation(sv) == pytest.approx(1.0)
+    assert PauliString("X").expectation(sv) == pytest.approx(0.0)
+
+
+def test_immutability():
+    p = PauliString("X")
+    with pytest.raises(AttributeError):
+        p.label = "Y"

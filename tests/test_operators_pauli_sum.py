@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.circuits.library import random_circuit
+from repro.operators.pauli_sum import PauliSum, pauli_sum_from_dict
+from repro.simulator.statevector import simulate_statevector
+
+
+def test_term_merging_and_pruning():
+    ham = PauliSum([(0.5, "XZ"), (0.5, "XZ"), (1.0, "ZZ"), (-1.0, "ZZ")])
+    labels = {t.pauli.label for t in ham}
+    assert labels == {"XZ"}
+    assert ham.coefficients[0] == pytest.approx(1.0)
+
+
+def test_zero_operator_keeps_identity():
+    ham = PauliSum([(1.0, "X"), (-1.0, "X")])
+    assert len(ham) == 1
+    assert ham.terms[0].coefficient == 0.0
+
+
+def test_qubit_count_mismatch():
+    with pytest.raises(ValueError):
+        PauliSum([(1.0, "X"), (1.0, "XX")])
+
+
+def test_algebra():
+    a = PauliSum([(1.0, "Z")])
+    b = PauliSum([(2.0, "X")])
+    total = a + b
+    assert len(total) == 2
+    scaled = 3.0 * a
+    assert scaled.coefficients[0] == pytest.approx(3.0)
+    diff = total - b
+    assert {t.pauli.label for t in diff if abs(t.coefficient) > 0} == {"Z"}
+
+
+def test_matrix_hermitian_and_expectation_consistency():
+    ham = PauliSum([(0.7, "XZ"), (-0.3, "ZI"), (0.1, "YY")])
+    mat = ham.to_matrix()
+    assert np.allclose(mat, mat.conj().T)
+    sv = simulate_statevector(random_circuit(2, 15, seed=5))
+    direct = ham.expectation(sv)
+    via_matrix = np.real(np.vdot(sv, mat @ sv))
+    assert direct == pytest.approx(via_matrix, abs=1e-10)
+
+
+def test_ground_state_energy_and_range():
+    ham = PauliSum([(1.0, "Z")])
+    assert ham.ground_state_energy() == pytest.approx(-1.0)
+    lo, hi = ham.spectral_range()
+    assert (lo, hi) == (pytest.approx(-1.0), pytest.approx(1.0))
+
+
+def test_one_norm_and_identity_coefficient():
+    ham = PauliSum([(0.5, "II"), (-1.5, "XZ")])
+    assert ham.one_norm() == pytest.approx(2.0)
+    assert ham.identity_coefficient() == pytest.approx(0.5)
+    assert ham.maximally_mixed_expectation() == pytest.approx(0.5)
+
+
+def test_from_dict():
+    ham = pauli_sum_from_dict(2, {"XZ": 1.0, "II": -0.5})
+    assert ham.num_qubits == 2
+    with pytest.raises(ValueError):
+        pauli_sum_from_dict(2, {"X": 1.0})
+
+
+def test_expectation_bounded_by_spectrum():
+    ham = PauliSum([(1.0, "ZZ"), (0.5, "XI")])
+    lo, hi = ham.spectral_range()
+    sv = simulate_statevector(random_circuit(2, 25, seed=2))
+    value = ham.expectation(sv)
+    assert lo - 1e-9 <= value <= hi + 1e-9

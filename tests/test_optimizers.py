@@ -1,0 +1,169 @@
+import numpy as np
+import pytest
+
+from repro.optimizers.base import IterativeOptimizer
+from repro.optimizers.gradient_descent import ParameterShiftGradientDescent
+from repro.optimizers.scipy_wrappers import minimize_scipy
+from repro.optimizers.spsa import (
+    SPSA,
+    BlockingSPSA,
+    ResamplingSPSA,
+    SecondOrderSPSA,
+)
+
+
+def quadratic(theta):
+    return float(np.sum((np.asarray(theta) - 1.0) ** 2))
+
+
+def _drive(optimizer, objective, theta0, iterations):
+    theta = np.asarray(theta0, dtype=float)
+    energy = objective(theta)
+    for _ in range(iterations):
+        candidate = optimizer.propose(theta, objective)
+        cand_energy = objective(candidate)
+        accepted = optimizer.accepts(energy, cand_energy)
+        if accepted:
+            theta, energy = candidate, cand_energy
+        optimizer.feedback(accepted, theta, energy)
+    return theta, energy
+
+
+def test_spsa_minimizes_quadratic():
+    opt = SPSA(a=0.6, c=0.1, stability=10.0, seed=3)
+    theta, energy = _drive(opt, quadratic, np.zeros(4), 300)
+    assert energy < 0.05
+    assert np.allclose(theta, 1.0, atol=0.3)
+
+
+def test_spsa_two_evaluations_per_step():
+    opt = SPSA(seed=1)
+    opt.propose(np.zeros(3), quadratic)
+    assert opt.state.evaluations == 2
+
+
+def test_spsa_gain_schedules_decay():
+    opt = SPSA()
+    assert opt.learning_rate(0) > opt.learning_rate(100)
+    assert opt.perturbation_size(0) > opt.perturbation_size(100)
+
+
+def test_spsa_trust_region_caps_step():
+    opt = SPSA(a=100.0, trust_radius=0.05, stability=0.0, seed=2)
+    theta = np.zeros(5)
+    candidate = opt.propose(theta, quadratic)
+    assert np.linalg.norm(candidate - theta) <= 0.05 + 1e-12
+
+
+def test_spsa_no_trust_region_by_default():
+    assert SPSA().trust_radius is None
+
+
+def test_spsa_validation():
+    with pytest.raises(ValueError):
+        SPSA(a=-1.0)
+    with pytest.raises(ValueError):
+        SPSA(trust_radius=0.0)
+
+
+def test_spsa_seeded_reproducibility():
+    a = _drive(SPSA(seed=9), quadratic, np.zeros(3), 50)[0]
+    b = _drive(SPSA(seed=9), quadratic, np.zeros(3), 50)[0]
+    assert np.allclose(a, b)
+
+
+def test_resampling_uses_double_evaluations():
+    opt = ResamplingSPSA(resamplings=2, seed=1)
+    opt.propose(np.zeros(3), quadratic)
+    assert opt.state.evaluations == 4
+    with pytest.raises(ValueError):
+        ResamplingSPSA(resamplings=0)
+
+
+def test_resampling_reduces_gradient_variance():
+    rng = np.random.default_rng(0)
+
+    def noisy(theta):
+        return quadratic(theta) + rng.normal(0, 0.5)
+
+    def spread(opt_cls, **kw):
+        grads = []
+        for seed in range(30):
+            opt = opt_cls(seed=seed, **kw)
+            candidate = opt.propose(np.zeros(3), noisy)
+            grads.append(candidate)
+        return np.mean(np.var(grads, axis=0))
+
+    assert spread(ResamplingSPSA, resamplings=4) < spread(SPSA)
+
+
+def test_blocking_rejects_worsening():
+    opt = BlockingSPSA(allowed_increase=0.0, seed=1)
+    assert opt.accepts(1.0, 0.5)
+    assert not opt.accepts(1.0, 1.5)
+
+
+def test_blocking_noise_allowance_adapts():
+    opt = BlockingSPSA(seed=1)
+    for value in (1.0, 0.9, 1.1, 0.95, 1.05):
+        opt.feedback(True, np.zeros(1), value)
+    assert opt._noise_estimate > 0
+    # small increases within noise are accepted
+    assert opt.accepts(1.0, 1.0 + opt._noise_estimate)
+
+
+def test_second_order_minimizes_quadratic():
+    opt = SecondOrderSPSA(a=0.5, stability=10.0, seed=5)
+    theta, energy = _drive(opt, quadratic, np.zeros(3), 300)
+    assert energy < 0.2
+
+
+def test_second_order_four_evaluations():
+    opt = SecondOrderSPSA(seed=2)
+    opt.propose(np.zeros(2), quadratic)
+    assert opt.state.evaluations == 4
+    with pytest.raises(ValueError):
+        SecondOrderSPSA(regularization=0.0)
+
+
+def test_parameter_shift_exact_on_sinusoid():
+    def cost(theta):
+        return float(np.sin(theta[0]))
+
+    opt = ParameterShiftGradientDescent(learning_rate=0.5)
+    grad = opt.gradient(np.array([0.0]), cost)
+    # parameter-shift of sin at 0: (sin(pi/2) - sin(-pi/2))/2 = 1
+    assert grad[0] == pytest.approx(1.0)
+
+
+def test_parameter_shift_descends():
+    opt = ParameterShiftGradientDescent(learning_rate=0.3)
+    theta, energy = _drive(opt, quadratic, np.zeros(2), 40)
+    # note: parameter-shift is exact only for rotation-generated costs;
+    # on a plain quadratic it still descends.
+    assert energy < quadratic(np.zeros(2))
+
+
+def test_parameter_shift_validation():
+    with pytest.raises(ValueError):
+        ParameterShiftGradientDescent(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        ParameterShiftGradientDescent(learning_rate=0.1, decay=-1.0)
+
+
+def test_scipy_wrapper():
+    result = minimize_scipy(quadratic, np.zeros(3), method="COBYLA")
+    assert result.fun < 0.05
+    with pytest.raises(ValueError):
+        minimize_scipy(quadratic, np.zeros(2), method="BFGS")
+
+
+def test_base_optimizer_protocol():
+    opt = IterativeOptimizer()
+    with pytest.raises(NotImplementedError):
+        opt.propose(np.zeros(1), quadratic)
+    assert opt.accepts(1.0, 2.0)
+    opt.feedback(True, np.zeros(1), 1.0)
+    assert opt.state.iteration == 1
+    opt.reset()
+    assert opt.state.iteration == 0

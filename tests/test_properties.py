@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.library import random_circuit
+from repro.core.estimator import TransientEstimate
+from repro.core.policies import GradientFaithfulPolicy
+from repro.noise.channels import (
+    amplitude_damping_kraus,
+    depolarizing_kraus,
+    is_cptp,
+    phase_damping_kraus,
+    thermal_relaxation_kraus,
+)
+from repro.noise.readout import ReadoutError, ReadoutMitigator
+from repro.operators.pauli import PauliString
+from repro.simulator.statevector import simulate_statevector
+
+pauli_labels = st.text(alphabet="IXYZ", min_size=1, max_size=4)
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+energies = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 4), depth=st.integers(1, 40))
+def test_statevector_norm_preserved(seed, n, depth):
+    sv = simulate_statevector(random_circuit(n, depth, seed=seed))
+    assert np.vdot(sv, sv).real == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=pauli_labels, b=pauli_labels)
+def test_pauli_product_group_law(a, b):
+    if len(a) != len(b):
+        a = a[: min(len(a), len(b))].ljust(min(len(a), len(b)), "I")
+        b = b[: len(a)]
+    pa, pb = PauliString(a), PauliString(b)
+    phase, product = pa.multiply(pb)
+    assert abs(phase) == pytest.approx(1.0)
+    # (ab)b = a up to phase
+    phase2, back = product.multiply(pb)
+    assert back.label == pa.label
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=pauli_labels, b=pauli_labels)
+def test_pauli_commutation_symmetric(a, b):
+    size = min(len(a), len(b))
+    pa, pb = PauliString(a[:size]), PauliString(b[:size])
+    assert pa.commutes_with(pb) == pb.commutes_with(pa)
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=probabilities)
+def test_depolarizing_always_cptp(p):
+    assert is_cptp(depolarizing_kraus(p, 1))
+    assert is_cptp(depolarizing_kraus(p, 2))
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=probabilities)
+def test_damping_channels_cptp(p):
+    assert is_cptp(amplitude_damping_kraus(p))
+    assert is_cptp(phase_damping_kraus(p))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    t1=st.floats(min_value=1.0, max_value=200.0),
+    ratio=st.floats(min_value=0.05, max_value=2.0),
+    dt=st.floats(min_value=0.001, max_value=10.0),
+)
+def test_thermal_relaxation_cptp(t1, ratio, dt):
+    assert is_cptp(thermal_relaxation_kraus(t1, ratio * t1, dt))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p01=st.lists(st.floats(0.0, 0.3), min_size=1, max_size=3),
+    p10=st.lists(st.floats(0.0, 0.3), min_size=1, max_size=3),
+)
+def test_readout_mitigation_inverts_its_confusion(p01, p10):
+    size = min(len(p01), len(p10))
+    error = ReadoutError(p01[:size], p10[:size])
+    mitigator = ReadoutMitigator(error)
+    rng = np.random.default_rng(0)
+    true = rng.dirichlet(np.ones(2**size))
+    noisy = error.apply_to_probabilities(true)
+    recovered = mitigator.mitigate_probabilities(noisy)
+    assert np.allclose(recovered, true, atol=1e-8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(em_prev=energies, em_rerun=energies, em_new=energies)
+def test_estimator_identities(em_prev, em_rerun, em_new):
+    est = TransientEstimate(em_prev, em_rerun, em_new)
+    assert est.gp == pytest.approx(est.gm - est.tm, abs=1e-9)
+    assert est.ep == pytest.approx(em_new - est.tm, abs=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    em_prev=energies, em_rerun=energies, em_new=energies,
+    offset=st.floats(-100.0, 100.0, allow_nan=False),
+    tau=st.floats(0.0, 10.0),
+)
+def test_controller_policy_offset_invariance(em_prev, em_rerun, em_new, offset, tau):
+    """Adding a constant to all energies never changes the decision.
+
+    Exact-zero gradients sit on a sign knife edge that float cancellation
+    can cross under an offset; exclude that measure-zero set.
+    """
+    from hypothesis import assume
+
+    a = TransientEstimate(em_prev, em_rerun, em_new)
+    assume(abs(a.gm) > 1e-6 and abs(a.gp) > 1e-6)
+    policy = GradientFaithfulPolicy()
+    b = TransientEstimate(em_prev + offset, em_rerun + offset, em_new + offset)
+    assert policy.accepts(a, tau) == policy.accepts(b, tau)
+
+
+@settings(max_examples=100, deadline=None)
+@given(em_prev=energies, em_new=energies, tau=st.floats(0.0, 10.0))
+def test_no_transient_always_accepted(em_prev, em_new, tau):
+    """With a faithful rerun (Tm = 0) the gradient is trivially faithful."""
+    policy = GradientFaithfulPolicy()
+    est = TransientEstimate(em_prev, em_prev, em_new)
+    assert policy.accepts(est, tau)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 1000), length=st.integers(1, 200))
+def test_trace_cyclic_indexing_property(seed, length):
+    from repro.noise.transient.trace import TransientTrace
+
+    rng = np.random.default_rng(seed)
+    trace = TransientTrace(rng.normal(0, 0.1, length))
+    index = int(rng.integers(0, 10_000))
+    assert trace[index] == trace[index % length]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.floats(-5, 5, allow_nan=False), min_size=1, max_size=50),
+    shift=st.floats(-3, 3, allow_nan=False),
+)
+def test_kalman_shift_equivariance(values, shift):
+    """Filtering commutes with constant shifts (linearity)."""
+    from repro.filtering.kalman import KalmanFilter1D
+
+    f1 = KalmanFilter1D(transition=1.0, measurement_variance=0.5)
+    f2 = KalmanFilter1D(transition=1.0, measurement_variance=0.5)
+    out1 = f1.filter_series(values)
+    out2 = f2.filter_series([v + shift for v in values])
+    assert np.allclose(out2, out1 + shift, atol=1e-8)

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.circuits.library import bell_pair, random_circuit
+from repro.noise.channels import depolarizing_kraus
+from repro.noise.noise_model import NoiseModel
+from repro.simulator.density_matrix import DensityMatrixSimulator
+from repro.simulator.statevector import simulate_statevector
+
+
+def test_pure_state_matches_statevector():
+    circuit = random_circuit(3, 20, seed=4)
+    dm = DensityMatrixSimulator(3)
+    rho = dm.to_matrix(dm.run_circuit(circuit))
+    sv = simulate_statevector(circuit)
+    assert np.allclose(rho, np.outer(sv, sv.conj()), atol=1e-10)
+
+
+def test_trace_preserved_under_noise():
+    circuit = random_circuit(2, 15, seed=1)
+    dm = DensityMatrixSimulator(2)
+    rho = dm.run_circuit(circuit, noise_model=NoiseModel(0.01, 0.05))
+    assert np.trace(dm.to_matrix(rho)).real == pytest.approx(1.0, abs=1e-10)
+
+
+def test_purity_decreases_with_noise():
+    circuit = bell_pair()
+    dm = DensityMatrixSimulator(2)
+    pure = dm.run_circuit(circuit)
+    noisy = dm.run_circuit(circuit, noise_model=NoiseModel(0.02, 0.08))
+    assert dm.purity(noisy) < dm.purity(pure)
+    assert dm.purity(pure) == pytest.approx(1.0, abs=1e-10)
+
+
+def test_full_depolarizing_gives_maximally_mixed():
+    dm = DensityMatrixSimulator(1)
+    rho = dm.zero_state()
+    rho = dm.apply_kraus(rho, depolarizing_kraus(1.0, 1), (0,))
+    assert np.allclose(dm.to_matrix(rho), np.eye(2) / 2, atol=1e-10)
+
+
+def test_probabilities_sum_to_one():
+    circuit = random_circuit(3, 25, seed=2)
+    dm = DensityMatrixSimulator(3)
+    rho = dm.run_circuit(circuit, noise_model=NoiseModel(0.005, 0.02))
+    probs = dm.probabilities(rho)
+    assert probs.sum() == pytest.approx(1.0)
+    assert np.all(probs >= 0)
+
+
+def test_expectation_against_statevector():
+    circuit = random_circuit(2, 12, seed=8)
+    dm = DensityMatrixSimulator(2)
+    rho = dm.run_circuit(circuit)
+    observable = np.kron([[1, 0], [0, -1]], np.eye(2)).astype(complex)
+    sv = simulate_statevector(circuit)
+    expected = np.real(np.vdot(sv, observable @ sv))
+    assert dm.expectation(rho, observable) == pytest.approx(expected, abs=1e-10)
+
+
+def test_unbound_circuit_rejected():
+    from repro.circuits.circuit import QuantumCircuit
+    from repro.circuits.parameter import Parameter
+
+    qc = QuantumCircuit(1)
+    qc.rx(Parameter("x"), 0)
+    with pytest.raises(ValueError):
+        DensityMatrixSimulator(1).run_circuit(qc)
+
+
+def test_empty_kraus_rejected():
+    dm = DensityMatrixSimulator(1)
+    with pytest.raises(ValueError):
+        dm.apply_kraus(dm.zero_state(), [], (0,))

@@ -1,0 +1,48 @@
+import numpy as np
+import pytest
+
+from repro.circuits.library import random_circuit
+from repro.hamiltonians.tfim import tfim_hamiltonian
+from repro.operators.pauli import PauliString
+from repro.operators.pauli_sum import PauliSum, PauliTerm
+from repro.simulator.expectation import (
+    expectation_from_counts,
+    expectation_of_matrix,
+    expectation_of_pauli_sum,
+    shot_noise_sigma,
+)
+from repro.simulator.statevector import simulate_statevector
+
+
+def test_matrix_and_pauli_sum_agree():
+    ham = tfim_hamiltonian(3)
+    sv = simulate_statevector(random_circuit(3, 20, seed=3))
+    via_matrix = expectation_of_matrix(sv, ham.to_matrix())
+    via_terms = expectation_of_pauli_sum(sv, ham)
+    assert via_matrix == pytest.approx(via_terms, abs=1e-10)
+
+
+def test_expectation_from_counts_identity_and_z():
+    terms = [PauliTerm(0.5, PauliString("II")), PauliTerm(1.0, PauliString("ZI"))]
+    counts = {"00": 75, "10": 25}
+    # <ZI> = (75 - 25)/100 = 0.5; plus identity 0.5 -> 1.0
+    assert expectation_from_counts(counts, terms) == pytest.approx(1.0)
+
+
+def test_expectation_from_counts_empty_rejected():
+    with pytest.raises(ValueError):
+        expectation_from_counts({}, [PauliTerm(1.0, PauliString("Z"))])
+
+
+def test_shot_noise_sigma_scaling():
+    ham = tfim_hamiltonian(4)
+    sigma_small = shot_noise_sigma(ham, 1024)
+    sigma_large = shot_noise_sigma(ham, 4096)
+    assert sigma_small == pytest.approx(2.0 * sigma_large)
+    with pytest.raises(ValueError):
+        shot_noise_sigma(ham, 0)
+
+
+def test_shot_noise_sigma_identity_free():
+    identity_only = PauliSum([(3.0, "II")])
+    assert shot_noise_sigma(identity_only, 100) == 0.0

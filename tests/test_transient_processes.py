@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.noise.transient.processes import (
+    GaussianJitterProcess,
+    OrnsteinUhlenbeckProcess,
+    SpikeProcess,
+    TelegraphProcess,
+)
+
+
+def test_telegraph_two_levels():
+    proc = TelegraphProcess(rate_up=0.1, rate_down=0.3, amplitude=2.0)
+    path = proc.sample(2000, seed=1)
+    assert set(np.unique(path)) <= {0.0, 2.0}
+
+
+def test_telegraph_stationary_occupancy():
+    proc = TelegraphProcess(rate_up=0.1, rate_down=0.3)
+    path = proc.sample(50_000, seed=2)
+    assert path.mean() == pytest.approx(proc.stationary_occupancy(), abs=0.02)
+    assert proc.stationary_occupancy() == pytest.approx(0.25)
+
+
+def test_telegraph_validation():
+    with pytest.raises(ValueError):
+        TelegraphProcess(rate_up=1.5, rate_down=0.1)
+
+
+def test_ou_mean_reversion():
+    proc = OrnsteinUhlenbeckProcess(theta=0.2, mu=1.0, sigma=0.05, x0=5.0)
+    path = proc.sample(400, seed=3)
+    assert abs(path[-1] - 1.0) < abs(5.0 - 1.0)
+    assert np.mean(path[200:]) == pytest.approx(1.0, abs=0.2)
+
+
+def test_ou_stationary_std():
+    proc = OrnsteinUhlenbeckProcess(theta=0.1, sigma=0.05)
+    path = proc.sample(100_000, seed=4)
+    assert np.std(path[1000:]) == pytest.approx(proc.stationary_std(), rel=0.1)
+
+
+def test_ou_validation():
+    with pytest.raises(ValueError):
+        OrnsteinUhlenbeckProcess(theta=0.0)
+    with pytest.raises(ValueError):
+        OrnsteinUhlenbeckProcess(theta=0.1, sigma=-1.0)
+
+
+def test_spikes_sparse_and_signed():
+    proc = SpikeProcess(rate=0.02, magnitude=0.5, negative_bias=0.0)
+    path = proc.sample(5000, seed=5)
+    active = np.abs(path) > 1e-12
+    assert 0.005 < active.mean() < 0.12  # rate x duration
+    assert np.all(path[active] > 0)  # no negative bias
+
+
+def test_spike_rate_zero_is_silent():
+    path = SpikeProcess(rate=0.0, magnitude=1.0).sample(100, seed=6)
+    assert np.all(path == 0.0)
+
+
+def test_spike_magnitudes_exceed_base():
+    proc = SpikeProcess(rate=0.05, magnitude=0.4, negative_bias=0.0, wobble=0.0)
+    path = proc.sample(3000, seed=7)
+    active = path[path > 0]
+    # Pareto multiplier >= 1, so every active value >= magnitude (up to
+    # overlapping events which only add).
+    assert np.all(active >= 0.4 - 1e-9)
+
+
+def test_spike_wobble_varies_within_event():
+    proc = SpikeProcess(
+        rate=0.01, magnitude=1.0, mean_duration=8.0, wobble=0.3, negative_bias=0.0
+    )
+    path = proc.sample(3000, seed=8)
+    active = path[path > 0]
+    assert active.size > 10
+    assert np.std(active) > 0.05  # within-event variation present
+
+
+def test_spike_validation():
+    with pytest.raises(ValueError):
+        SpikeProcess(rate=2.0, magnitude=0.1)
+    with pytest.raises(ValueError):
+        SpikeProcess(rate=0.1, magnitude=0.1, tail=0.5)
+    with pytest.raises(ValueError):
+        SpikeProcess(rate=0.1, magnitude=0.1, mean_duration=0.2)
+    with pytest.raises(ValueError):
+        SpikeProcess(rate=0.1, magnitude=0.1, wobble=1.5)
+
+
+def test_jitter_statistics():
+    path = GaussianJitterProcess(sigma=0.2).sample(50_000, seed=9)
+    assert np.std(path) == pytest.approx(0.2, rel=0.05)
+    assert np.mean(path) == pytest.approx(0.0, abs=0.01)
+
+
+def test_jitter_validation():
+    with pytest.raises(ValueError):
+        GaussianJitterProcess(sigma=-0.1)
+
+
+def test_determinism_across_processes():
+    a = SpikeProcess(rate=0.05, magnitude=0.3).sample(500, seed=11)
+    b = SpikeProcess(rate=0.05, magnitude=0.3).sample(500, seed=11)
+    assert np.allclose(a, b)

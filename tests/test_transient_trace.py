@@ -1,0 +1,129 @@
+import numpy as np
+import pytest
+
+from repro.noise.transient.t1_model import T1FluctuationModel, t1_to_error_fraction
+from repro.noise.transient.trace import TransientTrace, concatenate_traces
+from repro.noise.transient.trace_generator import (
+    MACHINE_PROFILES,
+    TransientProfile,
+    generate_trace,
+    machine_trace,
+    profile_for_machine,
+)
+
+
+def test_trace_cyclic_indexing():
+    trace = TransientTrace(np.array([0.1, 0.2, 0.3]))
+    assert trace[0] == pytest.approx(0.1)
+    assert trace[3] == pytest.approx(0.1)
+    assert trace[5] == pytest.approx(0.3)
+    assert len(trace) == 3
+
+
+def test_trace_immutable():
+    trace = TransientTrace(np.array([0.1, 0.2]))
+    with pytest.raises(ValueError):
+        trace.values[0] = 9.0
+
+
+def test_trace_scaled():
+    trace = TransientTrace(np.array([0.1, -0.2]))
+    scaled = trace.scaled(2.0)
+    assert scaled[1] == pytest.approx(-0.4)
+    assert scaled.metadata["scale"] == 2.0
+
+
+def test_trace_percentile_and_active_fraction():
+    trace = TransientTrace(np.concatenate([np.zeros(90), np.full(10, 0.5)]))
+    assert trace.magnitude_percentile(89) == pytest.approx(0.0)
+    assert trace.magnitude_percentile(99) == pytest.approx(0.5)
+    assert trace.active_fraction(0.1) == pytest.approx(0.1)
+
+
+def test_trace_segment_cyclic():
+    trace = TransientTrace(np.array([1.0, 2.0, 3.0]))
+    seg = trace.segment(2, 3)
+    assert np.allclose(seg.values, [3.0, 1.0, 2.0])
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        TransientTrace(np.array([]))
+    with pytest.raises(ValueError):
+        TransientTrace(np.zeros((2, 2)))
+
+
+def test_concatenate():
+    a = TransientTrace(np.array([1.0]))
+    b = TransientTrace(np.array([2.0, 3.0]))
+    c = concatenate_traces(a, b)
+    assert len(c) == 3
+    with pytest.raises(ValueError):
+        concatenate_traces()
+
+
+def test_generate_trace_deterministic():
+    profile = TransientProfile()
+    a = generate_trace(profile, 500, seed=3)
+    b = generate_trace(profile, 500, seed=3)
+    assert np.allclose(a.values, b.values)
+    assert not np.allclose(a.values, generate_trace(profile, 500, seed=4).values)
+
+
+def test_trace_is_mostly_quiet_with_outliers():
+    trace = machine_trace("guadalupe", 4000, seed=5)
+    values = np.abs(trace.values)
+    # quiet bulk well below spike scale
+    assert np.median(values) < 0.05
+    # but spikes exist
+    assert values.max() > 0.3
+    assert 0.01 < trace.active_fraction(0.2) < 0.35
+
+
+def test_machine_profiles_complete_and_ordered():
+    paper_machines = {
+        "guadalupe", "toronto", "sydney", "casablanca", "jakarta", "mumbai", "cairo",
+    }
+    assert set(MACHINE_PROFILES) == paper_machines
+    # the 7-qubit Falcons are the most transient-prone (paper narrative)
+    assert (
+        MACHINE_PROFILES["casablanca"].spike_rate
+        > MACHINE_PROFILES["sydney"].spike_rate
+    )
+
+
+def test_profile_lookup():
+    assert profile_for_machine("GUADALUPE").spike_rate > 0
+    with pytest.raises(KeyError):
+        profile_for_machine("unknown")
+
+
+def test_profile_scaled():
+    profile = TransientProfile(spike_magnitude=0.4)
+    assert profile.scaled(0.5).spike_magnitude == pytest.approx(0.2)
+
+
+def test_t1_model_fig3_shape():
+    model = T1FluctuationModel()
+    times, t1 = model.sample_hours(65.0, seed=9)
+    assert times[-1] == pytest.approx(65.0)
+    assert len(times) == len(t1)
+    assert np.all(t1 >= model.floor_us)
+    # dips below the baseline exist (circled outliers of Fig. 3)
+    assert model.outlier_count(t1, threshold_fraction=0.6) > 0
+    # but the typical value sits near the baseline
+    assert np.median(t1) == pytest.approx(model.baseline_us, rel=0.2)
+
+
+def test_t1_model_validation():
+    with pytest.raises(ValueError):
+        T1FluctuationModel().sample_hours(0.0, seed=1)
+
+
+def test_t1_to_error_fraction_monotone():
+    t1 = np.array([70.0, 35.0, 10.0])
+    excess = t1_to_error_fraction(t1, circuit_duration_us=5.0, baseline_us=70.0)
+    assert excess[0] == pytest.approx(0.0)
+    assert excess[1] < excess[2]
+    with pytest.raises(ValueError):
+        t1_to_error_fraction(t1, circuit_duration_us=0.0, baseline_us=70.0)

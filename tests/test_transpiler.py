@@ -1,0 +1,139 @@
+import numpy as np
+import pytest
+
+from repro.ansatz.real_amplitudes import RealAmplitudes
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import random_circuit
+from repro.devices.coupling import falcon_map, line_map, ring_map
+from repro.simulator.statevector import simulate_statevector
+from repro.transpiler.basis import (
+    NATIVE_GATES,
+    reconstruct_zsxzsxz,
+    translate_to_basis,
+    zsxzsxz_angles,
+)
+from repro.transpiler.layout import apply_layout, linear_chain_layout, trivial_layout
+from repro.transpiler.passes import transpile
+from repro.transpiler.routing import route_circuit
+
+
+def _states_equal_up_to_phase(a, b, atol=1e-9):
+    index = np.argmax(np.abs(b))
+    if abs(b[index]) < 1e-12:
+        return np.allclose(a, b, atol=atol)
+    phase = a[index] / b[index]
+    return np.allclose(a, phase * b, atol=atol)
+
+
+def test_zsxzsxz_random_unitaries():
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        z = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        q, r = np.linalg.qr(z)
+        u = q * (np.diag(r) / np.abs(np.diag(r)))
+        a, b, c = zsxzsxz_angles(u)
+        recon = reconstruct_zsxzsxz(a, b, c)
+        assert _states_equal_up_to_phase(recon.reshape(-1), u.reshape(-1))
+
+
+def test_translate_preserves_semantics():
+    circuit = random_circuit(3, 30, seed=14)
+    native = translate_to_basis(circuit)
+    assert set(i.name for i in native if i.name != "barrier") <= set(NATIVE_GATES)
+    sv_orig = simulate_statevector(circuit)
+    sv_native = simulate_statevector(native)
+    assert _states_equal_up_to_phase(sv_native, sv_orig)
+
+
+def test_translate_two_qubit_expansions():
+    qc = QuantumCircuit(2)
+    qc.cz(0, 1)
+    qc.swap(0, 1)
+    qc.rzz(0.7, 0, 1)
+    qc.rxx(0.4, 0, 1)
+    qc.crz(0.9, 0, 1)
+    qc.crx(1.1, 0, 1)
+    native = translate_to_basis(qc)
+    sv_native = simulate_statevector(native)
+    sv_orig = simulate_statevector(qc)
+    assert _states_equal_up_to_phase(sv_native, sv_orig)
+
+
+def test_translate_rejects_parameterized():
+    from repro.circuits.parameter import Parameter
+
+    qc = QuantumCircuit(1)
+    qc.ry(Parameter("t"), 0)
+    with pytest.raises(ValueError):
+        translate_to_basis(qc)
+
+
+def test_layouts():
+    circuit = QuantumCircuit(3)
+    circuit.cx(0, 1)
+    cmap = falcon_map(7)
+    layout = linear_chain_layout(circuit, cmap)
+    chain = [layout.physical(v) for v in range(3)]
+    for a, b in zip(chain, chain[1:]):
+        assert cmap.are_connected(a, b)
+    triv = trivial_layout(circuit, cmap)
+    assert [triv.physical(v) for v in range(3)] == [0, 1, 2]
+
+
+def test_layout_too_big():
+    circuit = QuantumCircuit(8)
+    with pytest.raises(ValueError):
+        trivial_layout(circuit, falcon_map(7))
+
+
+def test_routing_inserts_swaps_and_preserves_state():
+    # CX between the two ends of a 3-line needs routing.
+    circuit = QuantumCircuit(3)
+    circuit.h(0)
+    circuit.cx(0, 2)
+    routed, permutation = route_circuit(circuit, line_map(3))
+    assert routed.count_ops().get("swap", 0) >= 1
+    # verify semantics through the permutation
+    sv_orig = simulate_statevector(circuit)
+    sv_routed = simulate_statevector(routed)
+    probs_orig = (np.abs(sv_orig) ** 2).reshape((2,) * 3)
+    probs_routed = (np.abs(sv_routed) ** 2).reshape((2,) * 3)
+    # logical qubit q sits at physical permutation[q]; compare marginals.
+    for logical in range(3):
+        physical = permutation[logical]
+        marg_orig = probs_orig.sum(
+            axis=tuple(i for i in range(3) if i != logical)
+        )
+        marg_routed = probs_routed.sum(
+            axis=tuple(i for i in range(3) if i != physical)
+        )
+        assert np.allclose(marg_orig, marg_routed, atol=1e-9)
+
+
+def test_routing_noop_when_connected():
+    circuit = QuantumCircuit(2)
+    circuit.cx(0, 1)
+    routed, permutation = route_circuit(circuit, line_map(2))
+    assert routed.count_ops().get("swap", 0) == 0
+    assert permutation == {0: 0, 1: 1}
+
+
+def test_transpile_ansatz_swap_free_on_large_devices():
+    # Linear-entanglement ansatz + chain layout routes swap-free wherever a
+    # 6-chain exists (16q/27q heavy-hex); the 7q H-shape needs swaps, which
+    # is physically faithful to running 6-qubit VQAs on Jakarta/Casablanca.
+    ansatz = RealAmplitudes(6, reps=2)
+    bound = ansatz.bind(np.zeros(ansatz.num_parameters))
+    for n in (16, 27):
+        result = transpile(bound, falcon_map(n))
+        assert result.num_swaps == 0
+        names = {i.name for i in result.circuit if i.name != "barrier"}
+        assert names <= set(NATIVE_GATES)
+    result7 = transpile(bound, falcon_map(7))
+    assert result7.num_swaps > 0
+
+
+def test_transpile_unknown_layout():
+    circuit = QuantumCircuit(2)
+    with pytest.raises(ValueError):
+        transpile(circuit, line_map(2), layout_method="magic")

@@ -1,0 +1,35 @@
+import numpy as np
+
+from repro.utils.serialization import load_json, save_json
+
+
+def test_round_trip_plain(tmp_path):
+    data = {"a": 1, "b": [1, 2, 3], "c": "text"}
+    path = save_json(tmp_path / "x.json", data)
+    assert load_json(path) == data
+
+
+def test_numpy_conversion(tmp_path):
+    data = {
+        "arr": np.arange(3),
+        "f": np.float64(1.5),
+        "i": np.int32(7),
+        "flag": np.bool_(True),
+        "nested": {"v": np.array([[1.0, 2.0]])},
+    }
+    loaded = load_json(save_json(tmp_path / "y.json", data))
+    assert loaded["arr"] == [0, 1, 2]
+    assert loaded["f"] == 1.5
+    assert loaded["i"] == 7
+    assert loaded["flag"] is True
+    assert loaded["nested"]["v"] == [[1.0, 2.0]]
+
+
+def test_creates_parent_dirs(tmp_path):
+    path = save_json(tmp_path / "deep" / "dir" / "z.json", [1])
+    assert path.exists()
+
+
+def test_tuple_becomes_list(tmp_path):
+    loaded = load_json(save_json(tmp_path / "t.json", {"t": (1, 2)}))
+    assert loaded["t"] == [1, 2]

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    geometric_mean,
+    moving_average,
+    relative_variation,
+    running_percentile,
+    summary,
+)
+
+
+def test_geometric_mean_simple():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+
+def test_geometric_mean_rejects_nonpositive_and_empty():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -2.0])
+
+
+def test_moving_average_warmup_and_steady_state():
+    out = moving_average([1, 2, 3, 4, 5], window=2)
+    assert out[0] == pytest.approx(1.0)
+    assert out[1] == pytest.approx(1.5)
+    assert out[4] == pytest.approx(4.5)
+
+
+def test_moving_average_window_one_is_identity():
+    values = [3.0, -1.0, 2.0]
+    assert np.allclose(moving_average(values, 1), values)
+
+
+def test_moving_average_rejects_bad_window():
+    with pytest.raises(ValueError):
+        moving_average([1.0], 0)
+
+
+def test_relative_variation():
+    assert relative_variation([1.0, 1.0, 1.0]) == pytest.approx(0.0)
+    # range 0.2 over mean 1.0
+    assert relative_variation([0.9, 1.0, 1.1]) == pytest.approx(0.2)
+
+
+def test_relative_variation_zero_mean():
+    assert relative_variation([0.0, 0.0]) == 0.0
+
+
+def test_summary_fields():
+    s = summary([1.0, 2.0, 3.0])
+    assert s.mean == pytest.approx(2.0)
+    assert s.minimum == 1.0
+    assert s.maximum == 3.0
+    assert s.count == 3
+    assert set(s.as_dict()) == {"mean", "std", "min", "max", "variation", "count"}
+
+
+def test_running_percentile_tracks_window():
+    rp = running_percentile(50.0, window=3)
+    assert rp.value(default=-1.0) == -1.0
+    for v in (1.0, 2.0, 3.0, 100.0):
+        rp.update(v)
+    # window keeps (2, 3, 100); median is 3
+    assert rp.value() == pytest.approx(3.0)
+    assert rp.count == 3
+
+
+def test_running_percentile_validates():
+    with pytest.raises(ValueError):
+        running_percentile(101.0)
+    with pytest.raises(ValueError):
+        running_percentile(50.0, window=0)

@@ -1,0 +1,142 @@
+import numpy as np
+import pytest
+
+from repro.ansatz.real_amplitudes import RealAmplitudes
+from repro.backends.ideal import IdealBackend
+from repro.backends.transient import TransientBackend
+from repro.core.controller import QismetController
+from repro.hamiltonians.tfim import tfim_exact_ground_energy, tfim_hamiltonian
+from repro.noise.noise_model import NoiseModel
+from repro.noise.transient.trace import TransientTrace
+from repro.optimizers.spsa import SPSA, BlockingSPSA
+from repro.vqa.objective import EnergyObjective
+from repro.vqa.result import IterationRecord, VQEResult
+from repro.vqa.vqe import VQE
+
+
+@pytest.fixture
+def objective():
+    return EnergyObjective(RealAmplitudes(3, reps=2), tfim_hamiltonian(3))
+
+
+def test_objective_validates_qubit_match():
+    with pytest.raises(ValueError):
+        EnergyObjective(RealAmplitudes(2, reps=1), tfim_hamiltonian(3))
+
+
+def test_objective_energy_between_spectrum(objective):
+    lo, hi = objective.hamiltonian.spectral_range()
+    for seed in range(5):
+        theta = objective.initial_point(seed=seed, scale=1.0)
+        energy = objective.ideal_energy(theta)
+        assert lo - 1e-9 <= energy <= hi + 1e-9
+
+
+def test_objective_counts_evaluations(objective):
+    theta = objective.initial_point(seed=1)
+    objective.ideal_energy(theta)
+    objective(theta)
+    assert objective.evaluations == 2
+
+
+def test_objective_gate_counts(objective):
+    singles, twos = objective.gate_counts()
+    assert singles == 9   # 3 qubits x 3 rotation layers
+    assert twos == 4      # 2 reps x 2 linear bonds
+
+
+def test_vqe_ideal_converges(objective):
+    vqe = VQE(objective, IdealBackend(objective), SPSA(a=0.4, stability=10.0, seed=2))
+    result = vqe.run(250, seed=3)
+    ground = tfim_exact_ground_energy(3)
+    assert result.final_true_energy < 0.7 * ground / abs(ground) * abs(ground) + 0.0
+    # should close most of the gap on a noiseless backend
+    assert result.final_true_energy == pytest.approx(ground, abs=0.6)
+    assert result.iterations == 250
+    assert result.total_jobs == 3 * 250 - 2  # 3 evals/iter, minus first iter's 2
+
+
+def test_vqe_records_structure(objective):
+    vqe = VQE(objective, IdealBackend(objective), SPSA(seed=1))
+    result = vqe.run(5, seed=1)
+    assert isinstance(result.records[0], IterationRecord)
+    assert result.records[0].index == 0
+    assert result.final_theta.shape == (objective.num_parameters,)
+    assert len(result.machine_energies) == 5
+    assert len(result.true_energies) == 5
+
+
+def test_vqe_validation(objective):
+    vqe = VQE(objective, IdealBackend(objective), SPSA(seed=1))
+    with pytest.raises(ValueError):
+        vqe.run(0)
+    with pytest.raises(ValueError):
+        vqe.run(5, theta0=np.zeros(3))
+    with pytest.raises(ValueError):
+        vqe.run(5, max_jobs=0)
+
+
+def test_vqe_job_budget_stops_early(objective):
+    vqe = VQE(objective, IdealBackend(objective), SPSA(seed=1))
+    result = vqe.run(100, seed=1, max_jobs=30)
+    assert result.total_jobs <= 33  # may finish the in-flight iteration
+    assert result.iterations < 100
+
+
+def test_vqe_blocking_never_accepts_much_worse(objective):
+    vqe = VQE(
+        objective, IdealBackend(objective),
+        BlockingSPSA(allowed_increase=0.0, seed=4),
+    )
+    result = vqe.run(60, seed=5)
+    energies = result.machine_energies
+    assert np.all(np.diff(energies) <= 1e-9)
+
+
+def test_vqe_with_qismet_controller_runs(objective):
+    trace = TransientTrace(
+        np.array([0.0] * 10 + [0.6, 0.6] + [0.0] * 200), metadata={"seed": 3.0}
+    )
+    backend = TransientBackend(
+        objective, trace, noise_model=NoiseModel(0.001, 0.01), shots=8192, seed=6
+    )
+    vqe = VQE(objective, backend, SPSA(seed=7), controller=QismetController())
+    result = vqe.run(40, seed=8)
+    assert result.iterations == 40
+    assert result.total_circuits > result.total_jobs  # reruns present
+    assert result.total_retries >= 0
+
+
+def test_vqe_deterministic(objective):
+    def run_once():
+        obj = EnergyObjective(RealAmplitudes(3, reps=2), tfim_hamiltonian(3))
+        vqe = VQE(obj, IdealBackend(obj), SPSA(seed=11))
+        return vqe.run(20, seed=12).machine_energies
+
+    assert np.allclose(run_once(), run_once())
+
+
+def test_result_tail_energies():
+    result = VQEResult()
+    for i, e in enumerate([0.0, -1.0, -2.0, -3.0]):
+        result.records.append(
+            IterationRecord(i, e, e, e, None, None, None, 0, True, True)
+        )
+    assert result.final_machine_energy == -3.0
+    assert result.tail_true_energy(0.5) == pytest.approx(-2.5)
+    assert result.tail_machine_energy(1.0) == pytest.approx(-1.5)
+
+
+def test_result_empty_raises():
+    result = VQEResult()
+    with pytest.raises(ValueError):
+        result.final_machine_energy
+
+
+def test_result_true_energy_missing():
+    result = VQEResult()
+    result.records.append(
+        IterationRecord(0, 1.0, None, 1.0, None, None, None, 0, True, True)
+    )
+    with pytest.raises(ValueError):
+        result.true_energies
