@@ -8,6 +8,13 @@ reported by pytest-benchmark, and the scientific output goes to stdout
 
 Scale: reduced by default; ``REPRO_FULL=1`` reproduces paper-scale
 iteration counts.
+
+Execution: every figure builder routes through the experiment-plan
+runtime (:mod:`repro.runtime`), so the whole suite honors
+``REPRO_EXECUTOR=parallel`` (fan VQE runs out across cores,
+``REPRO_JOBS`` caps workers) and ``REPRO_CACHE_DIR=<dir>`` (serve
+previously computed runs from disk — rebuilding a figure becomes
+near-instant). Results are bit-identical across executors.
 """
 
 from __future__ import annotations

@@ -5,22 +5,37 @@
 * trust-region SPSA interaction (step bounding vs transient kicks).
 """
 
-import numpy as np
 from conftest import print_table, run_once
 
 from repro.experiments.config import default_iterations
 from repro.experiments.registry import get_app
-from repro.experiments.runner import run_comparison
+from repro.experiments.runner import ComparisonResult, run_comparison
+from repro.runtime import RunSpec, default_executor
 
 
-def retry_budget_sweep(seed=43):
+def retry_budget_sweep(seed=43, executor=None):
+    """One spec per (budget, scheme) cell, executed in a single fan-out —
+    the overrides sweep the plan runtime was built for."""
     iterations = default_iterations(800, 200)
     app = get_app("App5")
+    budgets = (0, 1, 5, 10)
+    schemes = ("baseline", "qismet")
+    specs = [
+        RunSpec(
+            app=app, scheme=scheme, iterations=iterations, seed=seed,
+            overrides={"retry_budget": budget},
+        )
+        for budget in budgets
+        for scheme in schemes
+    ]
+    runs = (executor or default_executor()).run(specs)
     rows = {}
-    for budget in (0, 1, 5, 10):
-        comp = run_comparison(
-            app, ["baseline", "qismet"], iterations=iterations, seed=seed,
-            retry_budget=budget,
+    for index, budget in enumerate(budgets):
+        pair = runs[index * len(schemes):(index + 1) * len(schemes)]
+        comp = ComparisonResult(
+            app_name=app.name,
+            ground_truth=app.ground_truth_energy(),
+            results={run.scheme: run.result for run in pair},
         )
         rows[budget] = comp.improvements()["qismet"]
     return rows
@@ -63,41 +78,27 @@ def test_ablation_overhead(benchmark):
     assert stats["qismet_job_overhead"] < 1.6
 
 
-def trust_region_interaction(seed=45):
+def trust_region_interaction(seed=45, executor=None):
+    """Bounded vs unbounded SPSA steps on the same transient trace: two
+    specs differing only in the ``spsa_trust_radius`` override, so both
+    rows share every random stream."""
+    from repro.experiments.metrics import tail_energy
+
     iterations = default_iterations(600, 200)
     app = get_app("App5")
-    rows = {}
-    for label, radius in (("unbounded", None), ("trust=0.1", 0.1)):
-        comp = run_comparison(
-            app, ["noise-free", "baseline"], iterations=iterations, seed=seed,
+    variants = (("unbounded", {}), ("trust=0.1", {"spsa_trust_radius": 0.1}))
+    specs = [
+        RunSpec(
+            app=app, scheme="baseline", iterations=iterations, seed=seed,
+            overrides=overrides,
         )
-        # rebuild with trust region by adjusting the optimizer directly
-        from repro.experiments.metrics import tail_energy
-        if radius is None:
-            rows[label] = tail_energy(comp.results["baseline"])
-        else:
-            from repro.experiments.schemes import build_vqe
-            from repro.noise.noise_model import NoiseModel
-            from repro.vqa.objective import EnergyObjective
-            from repro.utils.rng import derive_seed
-
-            objective = EnergyObjective(app.build_ansatz(), app.build_hamiltonian())
-            trace = app.build_trace(length=5 * iterations + 64, seed=seed)
-            vqe = build_vqe(
-                "baseline", objective, trace,
-                noise_model=NoiseModel.from_device(app.build_device()),
-                seed=derive_seed(seed, f"run:{app.name}"),
-                iterations_hint=iterations,
-            )
-            vqe.optimizer.trust_radius = radius
-            result = vqe.run(
-                iterations,
-                theta0=app.build_ansatz().initial_point(
-                    seed=derive_seed(seed, f"theta0:{app.name}")
-                ),
-            )
-            rows[label] = tail_energy(result)
-    return rows
+        for _, overrides in variants
+    ]
+    runs = (executor or default_executor()).run(specs)
+    return {
+        label: tail_energy(run.result)
+        for (label, _), run in zip(variants, runs)
+    }
 
 
 def test_ablation_trust_region(benchmark):

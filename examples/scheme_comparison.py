@@ -1,14 +1,16 @@
 """Compare all mitigation schemes on one Table 1 application (Fig. 14/17).
 
-Runs the paper's comparison points — baseline, QISMET (three skip
+Declares the paper's comparison points — baseline, QISMET (three skip
 budgets), Blocking/Resampling/2nd-order SPSA, Kalman filtering and the
-only-transients strawman — on App2 (6q TFIM, RealAmplitudes reps=4,
-Guadalupe trace) and prints final energies plus expectation ratios.
+only-transients strawman — as one ExperimentPlan on App2 (6q TFIM,
+RealAmplitudes reps=4, Guadalupe trace), fans the schemes out with a
+ParallelExecutor, and prints final energies plus expectation ratios.
 
 Run:  python examples/scheme_comparison.py
 """
 
-from repro.experiments import get_app, run_comparison
+from repro.experiments import get_app
+from repro.runtime import ExperimentPlan, ParallelExecutor
 
 SCHEMES = (
     "noise-free",
@@ -30,7 +32,11 @@ def main() -> None:
     app = get_app("App2")
     print(f"{app.name}: {app.num_qubits}q TFIM, {app.ansatz_kind} reps={app.reps}, "
           f"trace from {app.machine} ({app.trial})")
-    comparison = run_comparison(app, SCHEMES, iterations=ITERATIONS, seed=SEED)
+    plan = ExperimentPlan.single(
+        app, SCHEMES, ITERATIONS, seed=SEED, name="scheme-comparison"
+    )
+    outcome = ParallelExecutor().run_plan(plan)
+    comparison = outcome.comparison(app.name)
     ratios = comparison.improvements()
     finals = comparison.final_energies()
     print(f"\nground truth energy: {comparison.ground_truth:.4f}")

@@ -57,6 +57,15 @@ from repro.optimizers import (
     ResamplingSPSA,
     SecondOrderSPSA,
 )
+from repro.runtime import (
+    CachedExecutor,
+    ExperimentPlan,
+    ParallelExecutor,
+    PlanResult,
+    RunResult,
+    RunSpec,
+    SerialExecutor,
+)
 from repro.vqa import EnergyObjective, VQE, VQEResult
 
 __all__ = [
@@ -91,6 +100,13 @@ __all__ = [
     "ParameterShiftGradientDescent",
     "ResamplingSPSA",
     "SecondOrderSPSA",
+    "CachedExecutor",
+    "ExperimentPlan",
+    "ParallelExecutor",
+    "PlanResult",
+    "RunResult",
+    "RunSpec",
+    "SerialExecutor",
     "EnergyObjective",
     "VQE",
     "VQEResult",

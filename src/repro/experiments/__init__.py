@@ -6,7 +6,7 @@ comparison schemes of Section 6.3; ``runner`` executes comparisons;
 relative-improvement numbers the paper reports.
 """
 
-from repro.experiments.registry import APPLICATIONS, AppConfig, get_app
+from repro.experiments.registry import APPLICATIONS, AppConfig, get_app, machine_app
 from repro.experiments.schemes import SCHEME_NAMES, build_vqe
 from repro.experiments.runner import ComparisonResult, run_comparison
 from repro.experiments.metrics import (
@@ -19,6 +19,7 @@ __all__ = [
     "APPLICATIONS",
     "AppConfig",
     "get_app",
+    "machine_app",
     "SCHEME_NAMES",
     "build_vqe",
     "ComparisonResult",

@@ -13,20 +13,16 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.ansatz.real_amplitudes import RealAmplitudes
-from repro.backends.ideal import IdealBackend
 from repro.circuits.library import layered_cx_circuit
 from repro.experiments.config import default_iterations
-from repro.experiments.metrics import expectation_ratio, tail_energy
-from repro.experiments.registry import APPLICATIONS, AppConfig, get_app
+from repro.experiments.metrics import tail_energy
+from repro.experiments.registry import APPLICATIONS, get_app, machine_app
 from repro.experiments.runner import geomean_improvements, run_comparison
 from repro.experiments.schemes import build_vqe
 from repro.noise.noise_model import NoiseModel
 from repro.noise.transient.t1_model import T1FluctuationModel, t1_to_error_fraction
-from repro.noise.transient.trace_generator import (
-    TransientProfile,
-    generate_trace,
-    profile_for_machine,
-)
+from repro.noise.transient.trace_generator import profile_for_machine
+from repro.runtime import ExperimentPlan, PlanResult, RunSpec, default_executor
 from repro.utils.rng import derive_seed
 from repro.utils.stats import relative_variation
 from repro.vqa.objective import EnergyObjective
@@ -109,13 +105,16 @@ def fig4_circuit_fidelity(hours: int = 45, seed: int = 10) -> Dict:
 # Fig. 5 — severe transient impact on a long VQA run
 # ---------------------------------------------------------------------------
 
-def fig5_vqa_transient_impact(seed: int = 23, iterations: Optional[int] = None) -> Dict:
+def fig5_vqa_transient_impact(
+    seed: int = 23, iterations: Optional[int] = None, executor=None
+) -> Dict:
     """Baseline VQA on a turbulent (Jakarta-like) trace: spikes and
     stagnation (expectation at iteration ~20 % vs the end)."""
     iterations = iterations or default_iterations(500, 250)
     app = get_app("App6")
     comp = run_comparison(
-        app, ["baseline"], iterations=iterations, seed=seed, trace_scale=1.5
+        app, ["baseline"], iterations=iterations, seed=seed, trace_scale=1.5,
+        executor=executor,
     )
     result = comp.results["baseline"]
     energies = result.machine_energies
@@ -141,26 +140,35 @@ def fig10_transient_sweep(
     fractions: Sequence[float] = (0.0, 0.025, 0.125, 0.20, 0.25, 0.50),
     seed: int = 5,
     iterations: Optional[int] = None,
+    executor=None,
 ) -> Dict:
     """Baseline VQA at increasing transient magnitude; accuracy degrades
-    monotonically (up to run noise)."""
+    monotonically (up to run noise).
+
+    Expanded into one spec per magnitude and executed in a single
+    fan-out: the sweep parallelizes across cores under a parallel
+    executor.
+    """
     iterations = iterations or default_iterations(2000, 400)
     app = get_app("App1")
-    finals: List[float] = []
+    specs: List[RunSpec] = []
     for fraction in fractions:
         if fraction == 0.0:
-            comp = run_comparison(app, ["static-only"], iterations=iterations, seed=seed)
-            result = comp.results["static-only"]
+            specs.append(
+                RunSpec(app=app, scheme="static-only", iterations=iterations, seed=seed)
+            )
         else:
             # Normalize so the profile's typical spike equals the requested
             # fraction of the estimation magnitude.
             scale = fraction / profile_for_machine(app.machine).spike_magnitude
-            comp = run_comparison(
-                app, ["baseline"], iterations=iterations, seed=seed,
-                trace_scale=scale,
+            specs.append(
+                RunSpec(
+                    app=app, scheme="baseline", iterations=iterations,
+                    seed=seed, trace_scale=scale,
+                )
             )
-            result = comp.results["baseline"]
-        finals.append(tail_energy(result))
+    runs = (executor or default_executor()).run(specs)
+    finals = [tail_energy(run.result) for run in runs]
     return {"fractions": list(fractions), "final_energies": finals}
 
 
@@ -179,14 +187,12 @@ MACHINE_ITERATIONS = {
 }
 
 
-def machine_run(
-    machine: str, seed: int = 17, iterations: Optional[int] = None
-) -> Dict:
-    """Synchronous baseline-vs-QISMET comparison on one machine (Figs. 11/12)."""
+def _machine_iterations(machine: str, iterations: Optional[int]) -> int:
     paper_iterations = MACHINE_ITERATIONS.get(machine.lower(), 300)
-    iterations = iterations or default_iterations(paper_iterations, paper_iterations)
-    app = AppConfig("Fig1x", 6, "RA", 4, machine.lower(), "v1")
-    comp = run_comparison(app, ["baseline", "qismet"], iterations=iterations, seed=seed)
+    return iterations or default_iterations(paper_iterations, paper_iterations)
+
+
+def _machine_row(machine: str, iterations: int, comp) -> Dict:
     ratio = comp.improvements()["qismet"]
     return {
         "machine": machine.lower(),
@@ -199,11 +205,38 @@ def machine_run(
     }
 
 
-def fig13_machines(seed: int = 17, iterations: Optional[int] = None) -> Dict:
-    """QISMET improvement across six IBMQ machines + geometric mean."""
-    rows = {}
-    for machine in MACHINE_ITERATIONS:
-        rows[machine] = machine_run(machine, seed=seed, iterations=iterations)
+def machine_run(
+    machine: str, seed: int = 17, iterations: Optional[int] = None, executor=None
+) -> Dict:
+    """Synchronous baseline-vs-QISMET comparison on one machine (Figs. 11/12)."""
+    iterations = _machine_iterations(machine, iterations)
+    comp = run_comparison(
+        machine_app(machine), ["baseline", "qismet"],
+        iterations=iterations, seed=seed, executor=executor,
+    )
+    return _machine_row(machine, iterations, comp)
+
+
+def fig13_machines(
+    seed: int = 17, iterations: Optional[int] = None, executor=None
+) -> Dict:
+    """QISMET improvement across six IBMQ machines + geometric mean.
+
+    All machines' runs (6 machines x 2 schemes) are expanded up front and
+    handed to one executor call, so a parallel executor fans the whole
+    figure out across cores at once.
+    """
+    its = {m: _machine_iterations(m, iterations) for m in MACHINE_ITERATIONS}
+    specs = [
+        RunSpec(app=machine_app(m), scheme=scheme, iterations=its[m], seed=seed)
+        for m in MACHINE_ITERATIONS
+        for scheme in ("baseline", "qismet")
+    ]
+    outcome = PlanResult(runs=(executor or default_executor()).run(specs))
+    rows = {
+        m: _machine_row(m, its[m], outcome.comparison(f"machine:{m}"))
+        for m in MACHINE_ITERATIONS
+    }
     ratios = [row["improvement"] for row in rows.values()]
     geomean = float(np.exp(np.mean(np.log(np.maximum(ratios, 1e-6)))))
     return {"machines": rows, "geomean_improvement": geomean}
@@ -217,7 +250,7 @@ FIG17_SCHEMES = ("baseline", "qismet", "blocking", "resampling", "2nd-order", "k
 
 
 def fig14_spsa_schemes(
-    seed: int = 13, iterations: Optional[int] = None
+    seed: int = 13, iterations: Optional[int] = None, executor=None
 ) -> Dict:
     """App2, SPSA optimization schemes vs QISMET (paper Fig. 14)."""
     iterations = iterations or default_iterations(2000, 500)
@@ -227,6 +260,7 @@ def fig14_spsa_schemes(
         ("baseline", "qismet", "blocking", "resampling", "2nd-order"),
         iterations=iterations,
         seed=seed,
+        executor=executor,
     )
     return {
         "iterations": iterations,
@@ -241,21 +275,28 @@ def fig17_main_results(
     iterations: Optional[int] = None,
     apps: Sequence[str] = tuple(sorted(APPLICATIONS)),
     schemes: Sequence[str] = FIG17_SCHEMES,
+    executor=None,
 ) -> Dict:
-    """The headline table: improvements per app per scheme + geomeans."""
+    """The headline table: improvements per app per scheme + geomeans.
+
+    Declared as one ``ExperimentPlan`` (apps x schemes) and executed in a
+    single fan-out, so ``REPRO_EXECUTOR=parallel`` parallelizes the whole
+    grid and ``REPRO_CACHE_DIR`` makes repeated builds near-instant.
+    """
     iterations = iterations or default_iterations(2000, 400)
-    comparisons = []
-    per_app: Dict[str, Dict[str, float]] = {}
-    for app_name in apps:
-        comp = run_comparison(
-            get_app(app_name), schemes, iterations=iterations, seed=seed
-        )
-        comparisons.append(comp)
-        per_app[app_name] = comp.improvements()
+    plan = ExperimentPlan(
+        apps=tuple(apps), schemes=tuple(schemes),
+        iterations=iterations, seeds=(seed,), name="fig17",
+    )
+    outcome = (executor or default_executor()).run_plan(plan)
+    per_app = {
+        app_name: outcome.comparison(app_name).improvements()
+        for app_name in apps
+    }
     return {
         "iterations": iterations,
         "per_app": per_app,
-        "geomean": geomean_improvements(comparisons),
+        "geomean": outcome.geomean_improvements(),
     }
 
 
@@ -314,12 +355,14 @@ def fig16_kalman(
     iterations: Optional[int] = None,
     mv_values: Sequence[float] = (0.01, 0.1),
     t_values: Sequence[float] = (0.9, 0.99, 1.0),
+    executor=None,
 ) -> Dict:
     """Kalman hyper-parameter grid vs baseline and QISMET on App6."""
     iterations = iterations or default_iterations(500, 300)
     app = get_app("App6")
     comp = run_comparison(
-        app, ["baseline", "qismet"], iterations=iterations, seed=seed
+        app, ["baseline", "qismet"], iterations=iterations, seed=seed,
+        executor=executor,
     )
     rows = {
         "baseline": tail_energy(comp.results["baseline"]),
@@ -327,26 +370,23 @@ def fig16_kalman(
     }
     ratios = {"baseline": 1.0, "qismet": comp.improvements()["qismet"]}
 
-    hamiltonian = app.build_hamiltonian()
-    noise_model = NoiseModel.from_device(app.build_device())
-    trace = app.build_trace(length=5 * iterations + 64, seed=seed)
-    theta0 = app.build_ansatz().initial_point(
-        seed=derive_seed(seed, f"theta0:{app.name}")
-    )
+    # The hyper-parameter grid is a pure overrides sweep: one spec per
+    # (MV, T) cell, executed in a single fan-out.
     base_tail = min(-1e-3, rows["baseline"])
-    for mv in mv_values:
-        for t in t_values:
-            objective = EnergyObjective(app.build_ansatz(), hamiltonian)
-            vqe = build_vqe(
-                "kalman", objective, trace, noise_model=noise_model,
-                seed=derive_seed(seed, f"run:{app.name}"),
-                iterations_hint=iterations,
-                kalman_transition=t, kalman_measurement_variance=mv,
-            )
-            result = vqe.run(iterations, theta0=np.array(theta0))
-            label = f"kalman(MV={mv},T={t})"
-            rows[label] = tail_energy(result)
-            ratios[label] = min(-1e-3, rows[label]) / base_tail
+    grid = [(mv, t) for mv in mv_values for t in t_values]
+    grid_specs = [
+        RunSpec(
+            app=app, scheme="kalman", iterations=iterations, seed=seed,
+            overrides={
+                "kalman_transition": t, "kalman_measurement_variance": mv,
+            },
+        )
+        for mv, t in grid
+    ]
+    for (mv, t), run in zip(grid, (executor or default_executor()).run(grid_specs)):
+        label = f"kalman(MV={mv},T={t})"
+        rows[label] = tail_energy(run.result)
+        ratios[label] = min(-1e-3, rows[label]) / base_tail
     best_kalman = max(
         (v for k, v in ratios.items() if k.startswith("kalman")), default=0.0
     )
@@ -430,20 +470,33 @@ def fig18_h2_curve(
 # ---------------------------------------------------------------------------
 
 def fig19_threshold_sweep(
-    seed: int = 37, iterations: Optional[int] = None
+    seed: int = 37,
+    iterations: Optional[int] = None,
+    num_seeds: int = 2,
+    executor=None,
 ) -> Dict:
     """Conservative (99p) / best (90p) / aggressive (75p) QISMET under low
-    and high transient noise."""
+    and high transient noise.
+
+    Declared as one plan sweeping ``trace_scales`` x ``num_seeds`` seeds
+    so both noise regimes execute in a single fan-out; per-regime numbers
+    are seed-geomeans, which tames the single-run variance of the
+    reduced-scale configuration.
+    """
     iterations = iterations or default_iterations(1800, 400)
-    app = get_app("App2")
-    out: Dict[str, Dict[str, float]] = {}
-    for label, scale in (("low", 0.5), ("high", 2.0)):
-        comp = run_comparison(
-            app,
-            ("baseline", "qismet", "qismet-conservative", "qismet-aggressive"),
-            iterations=iterations,
-            seed=seed,
-            trace_scale=scale,
+    plan = ExperimentPlan(
+        apps=("App2",),
+        schemes=("baseline", "qismet", "qismet-conservative", "qismet-aggressive"),
+        iterations=iterations,
+        seeds=tuple(seed + offset for offset in range(num_seeds)),
+        trace_scales=(0.5, 2.0),
+        name="fig19",
+    )
+    outcome = (executor or default_executor()).run_plan(plan)
+    comparisons = outcome.comparisons()
+    return {
+        label: geomean_improvements(
+            [comp for (_, _, scale_), comp in comparisons.items() if scale_ == scale]
         )
-        out[label] = comp.improvements()
-    return out
+        for label, scale in (("low", 0.5), ("high", 2.0))
+    }

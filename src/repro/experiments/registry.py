@@ -80,5 +80,13 @@ def get_app(name: str) -> AppConfig:
     return APPLICATIONS[name]
 
 
+def machine_app(machine: str, num_qubits: int = 6, reps: int = 4) -> AppConfig:
+    """The Figs. 11-13 single-machine workload (6q TFIM, RA ansatz) on a
+    named machine's trace; addressable from run specs as ``machine:<name>``."""
+    return AppConfig(
+        f"machine:{machine.lower()}", num_qubits, "RA", reps, machine.lower(), "v1"
+    )
+
+
 def app_names() -> List[str]:
     return [f"App{i}" for i in range(1, 7)]

@@ -1,18 +1,28 @@
-"""Experiment runner: scheme comparisons over Table 1 applications."""
+"""Experiment runner: scheme comparisons over Table 1 applications.
+
+This module is the classic, comparison-shaped front door to the
+declarative runtime in :mod:`repro.runtime`: :func:`run_comparison`
+builds a one-app :class:`~repro.runtime.spec.ExperimentPlan` and hands it
+to an executor (serial by default; set ``REPRO_EXECUTOR=parallel`` or
+pass ``executor=`` to fan schemes out across processes, and
+``REPRO_CACHE_DIR`` to reuse previously computed runs). Sweeps larger
+than one app x one seed should build an ``ExperimentPlan`` directly.
+
+Seeds are derived per scheme (backend shot-noise streams are
+independent) while the SPSA perturbation sequence is shared across
+schemes, mirroring the paper's synchronous paired-comparison
+methodology — see :mod:`repro.runtime.execute` for the exact contract.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.experiments.metrics import expectation_ratio, improvement_rel_baseline
 from repro.experiments.registry import AppConfig
-from repro.experiments.schemes import build_vqe
-from repro.noise.noise_model import NoiseModel
-from repro.utils.rng import derive_seed
-from repro.vqa.objective import EnergyObjective
 from repro.vqa.result import VQEResult
 
 
@@ -60,6 +70,26 @@ class ComparisonResult:
             for name, result in self.results.items()
         }
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "app_name": self.app_name,
+            "ground_truth": float(self.ground_truth),
+            "results": {
+                name: result.to_dict() for name, result in self.results.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ComparisonResult":
+        return cls(
+            app_name=data["app_name"],
+            ground_truth=float(data["ground_truth"]),
+            results={
+                name: VQEResult.from_dict(payload)
+                for name, payload in data.get("results", {}).items()
+            },
+        )
+
 
 def run_comparison(
     app: AppConfig,
@@ -69,44 +99,33 @@ def run_comparison(
     shots: int = 8192,
     trace_scale: float = 1.0,
     theta0: Optional[np.ndarray] = None,
+    executor=None,
     **scheme_kwargs,
 ) -> ComparisonResult:
     """Run several schemes on one application under identical conditions.
 
     All schemes share the application's transient trace (scaled by
-    ``trace_scale``), static noise model and starting parameters, mirroring
+    ``trace_scale``), starting parameters and SPSA perturbation sequence,
+    while backend shot-noise streams are derived per scheme — mirroring
     the paper's synchronous baseline-vs-QISMET methodology.
+
+    This is a compatibility shim over :mod:`repro.runtime`: it expands a
+    one-app plan and executes it on ``executor`` (default: environment
+    selected via ``REPRO_EXECUTOR``/``REPRO_CACHE_DIR``).
     """
-    hamiltonian = app.build_hamiltonian()
-    device = app.build_device()
-    noise_model = NoiseModel.from_device(device)
-    # Each iteration consumes ~3 jobs (two SPSA evaluations plus the
-    # candidate measurement) and QISMET retries add more; 5x head-room.
-    trace = app.build_trace(length=5 * iterations + 64, seed=seed)
-    if trace_scale != 1.0:
-        trace = trace.scaled(trace_scale)
+    from repro.runtime import ExperimentPlan, default_executor, resolve_app
 
-    comparison = ComparisonResult(
-        app_name=app.name, ground_truth=app.ground_truth_energy()
-    )
-    ansatz = app.build_ansatz()
-    if theta0 is None:
-        theta0 = ansatz.initial_point(seed=derive_seed(seed, f"theta0:{app.name}"))
-
-    for scheme in schemes:
-        objective = EnergyObjective(app.build_ansatz(), hamiltonian)
-        vqe = build_vqe(
-            scheme,
-            objective,
-            trace=None if scheme in ("noise-free",) else trace,
-            noise_model=noise_model,
-            shots=shots,
-            seed=derive_seed(seed, f"run:{app.name}"),
-            iterations_hint=iterations,
-            **scheme_kwargs,
+    overrides = dict(scheme_kwargs)
+    if theta0 is not None:
+        overrides["theta0"] = tuple(
+            float(v) for v in np.asarray(theta0, dtype=float)
         )
-        comparison.results[scheme] = vqe.run(iterations, theta0=np.array(theta0))
-    return comparison
+    plan = ExperimentPlan.single(
+        app, schemes, iterations,
+        seed=seed, shots=shots, trace_scale=trace_scale, overrides=overrides,
+    )
+    outcome = (executor or default_executor()).run_plan(plan)
+    return outcome.comparison(resolve_app(app).name)
 
 
 def geomean_improvements(

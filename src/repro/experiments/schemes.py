@@ -56,9 +56,11 @@ _QISMET_SKIP_BUDGETS = {
 
 
 def _spsa_seed(seed: int):
-    # Scheme-independent: all schemes built from the same base seed share
-    # the same SPSA perturbation sequence, giving paired comparisons like
-    # the paper's synchronous baseline-vs-QISMET machine runs.
+    # Scheme-independent: all schemes built from the same SPSA base seed
+    # share the same SPSA perturbation sequence, giving paired comparisons
+    # like the paper's synchronous baseline-vs-QISMET machine runs. The
+    # runner passes a shared ``spsa_seed`` alongside per-scheme ``seed``s
+    # so backend streams stay independent while perturbations stay paired.
     return derive_rng(seed, "spsa")
 
 
@@ -69,26 +71,36 @@ def build_vqe(
     noise_model: Optional[NoiseModel] = None,
     shots: int = 4096,
     seed: int = 0,
+    spsa_seed: Optional[int] = None,
     iterations_hint: int = 500,
     retry_budget: int = 5,
     only_transients_skip_fraction: float = 0.10,
     kalman_transition: float = 1.0,
     kalman_measurement_variance: float = 0.1,
     state_sensitivity: float = 0.1,
+    spsa_trust_radius: Optional[float] = None,
 ) -> VQE:
     """Build a ready-to-run VQE for a named scheme.
 
     ``iterations_hint`` tunes SPSA's stability constant (Spall recommends
     ~10 % of the expected iteration count). ``trace`` may be ``None`` only
-    for the noise-free and static-only schemes.
+    for the noise-free and static-only schemes. ``spsa_seed`` (defaulting
+    to ``seed``) seeds the SPSA perturbation stream separately from the
+    backend shot-noise streams: callers comparing schemes pass per-scheme
+    ``seed``s with one shared ``spsa_seed`` so every scheme sees the same
+    perturbation sequence (paired comparisons) over independent noise.
     """
     if scheme not in SCHEME_NAMES:
         raise KeyError(f"unknown scheme {scheme!r}; known: {SCHEME_NAMES}")
 
     spsa_kwargs = dict(
         stability=max(1.0, iterations_hint / 10.0),
-        seed=_spsa_seed(seed),
+        seed=_spsa_seed(seed if spsa_seed is None else spsa_seed),
     )
+    if spsa_trust_radius is not None:
+        # Only when explicitly requested: SecondOrderSPSA supplies its own
+        # default bound via setdefault, which a None here would clobber.
+        spsa_kwargs["trust_radius"] = spsa_trust_radius
     backend_seed = derive_seed(seed, f"backend:{scheme}")
 
     def transient_backend() -> TransientBackend:

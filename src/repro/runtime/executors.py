@@ -1,0 +1,177 @@
+"""Pluggable executors: how a plan's runs actually get executed.
+
+All executors consume :class:`~repro.runtime.spec.RunSpec` sequences and
+return :class:`~repro.runtime.results.RunResult` lists in input order;
+because every spec is fully seed-determined (see
+:mod:`repro.runtime.execute`), the choice of executor changes wall-clock
+time only, never results.
+
+* :class:`SerialExecutor` — one run after another in this process.
+* :class:`ParallelExecutor` — fan-out across worker processes with
+  :class:`concurrent.futures.ProcessPoolExecutor`; results cross the
+  process boundary via the result layer's serialization.
+* :class:`CachedExecutor` — wraps another executor with a disk cache
+  keyed by each spec's content-hash ``run_id``, so repeated figure
+  builds only pay for specs they have never seen.
+
+:func:`default_executor` picks an executor from the environment
+(``REPRO_EXECUTOR``, ``REPRO_JOBS``, ``REPRO_CACHE_DIR``) so existing
+entry points gain parallelism and caching without signature changes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import List, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from repro.runtime.execute import execute_run
+from repro.runtime.results import PlanResult, RunResult
+from repro.runtime.spec import ExperimentPlan, RunSpec
+from repro.utils.serialization import load_json, save_json
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can turn specs into results."""
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        ...
+
+
+class BaseExecutor:
+    """Shared plumbing: plan expansion and the ``run_plan`` entry point."""
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        raise NotImplementedError
+
+    def run_plan(self, plan: ExperimentPlan) -> PlanResult:
+        return PlanResult(runs=self.run(plan.expand()), plan=plan.to_dict())
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        return self.run([spec])[0]
+
+
+class SerialExecutor(BaseExecutor):
+    """Execute runs one after another in the calling process."""
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        return [execute_run(spec) for spec in specs]
+
+
+class ParallelExecutor(BaseExecutor):
+    """Fan runs out across a process pool.
+
+    ``max_workers=None`` uses one worker per CPU. Specs are distributed
+    with ``ProcessPoolExecutor.map`` (``chunksize`` specs per task), and
+    results come back in input order. Single-spec batches skip the pool
+    entirely — no point paying process startup for one run.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, chunksize: int = 1):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1 (or None)")
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        specs = list(specs)
+        if len(specs) <= 1:
+            return [execute_run(spec) for spec in specs]
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = min(workers, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_run, specs, chunksize=self.chunksize))
+
+
+class CachedExecutor(BaseExecutor):
+    """Disk-cache wrapper around another executor.
+
+    Results are stored as one JSON file per run under ``cache_dir``,
+    named by the spec's content-hash ``run_id``. A cached file whose
+    embedded spec does not match the requested spec (hash collision or a
+    stale schema) is treated as a miss and overwritten.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        inner: Optional[BaseExecutor] = None,
+    ):
+        self.cache_dir = Path(cache_dir)
+        self.inner = inner if inner is not None else SerialExecutor()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, spec: RunSpec) -> Path:
+        return self.cache_dir / f"{spec.run_id}.json"
+
+    def _load(self, spec: RunSpec) -> Optional[RunResult]:
+        path = self._path(spec)
+        if not path.exists():
+            return None
+        try:
+            cached = RunResult.from_dict(load_json(path))
+        except (ValueError, KeyError, TypeError):
+            return None
+        if cached.spec != spec:
+            return None
+        cached.from_cache = True
+        cached.elapsed_s = 0.0
+        return cached
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        specs = list(specs)
+        out: List[Optional[RunResult]] = []
+        missing: List[int] = []
+        for index, spec in enumerate(specs):
+            cached = self._load(spec)
+            out.append(cached)
+            if cached is None:
+                missing.append(index)
+        self.hits += len(specs) - len(missing)
+        self.misses += len(missing)
+        if missing:
+            fresh = self.inner.run([specs[i] for i in missing])
+            for index, run in zip(missing, fresh):
+                save_json(self._path(run.spec), run.to_dict())
+                out[index] = run
+        return [run for run in out if run is not None]
+
+
+def default_executor(
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> BaseExecutor:
+    """Build an executor from the environment.
+
+    ``REPRO_EXECUTOR=parallel`` selects the process-pool executor
+    (``REPRO_JOBS`` caps its workers); anything else — including unset —
+    is serial. ``REPRO_CACHE_DIR`` (or the ``cache_dir`` argument, which
+    wins) wraps the executor in a disk cache.
+    """
+    kind = os.environ.get("REPRO_EXECUTOR", "serial").strip().lower()
+    if kind in ("parallel", "process", "processes"):
+        jobs = os.environ.get("REPRO_JOBS", "").strip()
+        inner: BaseExecutor = ParallelExecutor(
+            max_workers=int(jobs) if jobs else None
+        )
+    elif kind in ("", "serial"):
+        inner = SerialExecutor()
+    else:
+        raise ValueError(
+            f"unknown REPRO_EXECUTOR {kind!r}; use 'serial' or 'parallel'"
+        )
+    cache = cache_dir or os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if cache:
+        return CachedExecutor(cache, inner=inner)
+    return inner
+
+
+def run_plan(
+    plan: ExperimentPlan, executor: Optional[BaseExecutor] = None
+) -> PlanResult:
+    """Execute a plan on ``executor`` (default: environment-selected)."""
+    return (executor or default_executor()).run_plan(plan)

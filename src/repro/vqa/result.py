@@ -1,9 +1,15 @@
-"""VQE run records and results."""
+"""VQE run records and results.
+
+Both record types serialize losslessly to plain dicts (``to_dict`` /
+``from_dict``) so runs survive process boundaries (the parallel executor)
+and disk caches. Floats round-trip exactly through JSON's shortest-repr
+encoding, so a deserialized result is bit-equal to the original.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -22,6 +28,13 @@ class IterationRecord:
     retries: int
     accepted_by_controller: bool
     accepted_by_optimizer: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IterationRecord":
+        return cls(**{f: data[f] for f in cls.__dataclass_fields__})
 
 
 @dataclass
@@ -94,3 +107,29 @@ class VQEResult:
             "total_retries": float(self.total_retries),
             "forced_accepts": float(self.forced_accepts),
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "records": [record.to_dict() for record in self.records],
+            "final_theta": (
+                None
+                if self.final_theta is None
+                else [float(v) for v in np.asarray(self.final_theta, dtype=float)]
+            ),
+            "total_jobs": int(self.total_jobs),
+            "total_circuits": int(self.total_circuits),
+            "total_retries": int(self.total_retries),
+            "forced_accepts": int(self.forced_accepts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VQEResult":
+        theta = data.get("final_theta")
+        return cls(
+            records=[IterationRecord.from_dict(r) for r in data.get("records", [])],
+            final_theta=None if theta is None else np.asarray(theta, dtype=float),
+            total_jobs=int(data.get("total_jobs", 0)),
+            total_circuits=int(data.get("total_circuits", 0)),
+            total_retries=int(data.get("total_retries", 0)),
+            forced_accepts=int(data.get("forced_accepts", 0)),
+        )

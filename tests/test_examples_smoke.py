@@ -27,8 +27,33 @@ def test_examples_exist():
         "h2_dissociation",
         "scheme_comparison",
         "device_transient_analysis",
+        "experiment_sweep",
     ):
         assert (EXAMPLES / f"{name}.py").exists()
+
+
+def test_experiment_sweep_plan_declared():
+    sweep = _load("experiment_sweep")
+    # acceptance shape: >= 2 apps x >= 3 schemes x >= 2 seeds
+    assert len(sweep.PLAN.apps) >= 2
+    assert len(sweep.PLAN.schemes) >= 3
+    assert len(sweep.PLAN.seeds) >= 2
+    specs = sweep.PLAN.expand()
+    assert len({spec.run_id for spec in specs}) == len(sweep.PLAN)
+
+
+def test_scheme_comparison_plan_small(tmp_path):
+    comparison = _load("scheme_comparison")
+    from repro.runtime import CachedExecutor, ExperimentPlan, SerialExecutor
+
+    plan = ExperimentPlan.single(
+        comparison.get_app("App2"), ("baseline", "qismet"), 8,
+        seed=comparison.SEED,
+    )
+    executor = CachedExecutor(tmp_path / "cache", inner=SerialExecutor())
+    outcome = executor.run_plan(plan)
+    assert set(outcome.comparison("App2").results) == {"baseline", "qismet"}
+    assert executor.misses == 2
 
 
 def test_quickstart_builders():

@@ -152,3 +152,71 @@ def test_run_comparison_schemes_share_start():
     # same theta0 and same first-job transient, but independent backend
     # shot-noise streams: first energies agree loosely
     assert base == pytest.approx(qismet, abs=0.5)
+
+
+def test_seeds_derived_per_scheme_with_shared_spsa_pairing():
+    """Regression for the schemes-module contract: backend seeds are
+    derived per scheme (independent shot-noise streams) while the SPSA
+    perturbation sequence stays shared (paired comparisons)."""
+    from repro.noise.noise_model import NoiseModel
+    from repro.runtime import RunSpec
+    from repro.runtime.execute import run_seed, spsa_seed
+
+    spec_base = RunSpec(app="App1", scheme="baseline", iterations=10, seed=9)
+    spec_blocking = RunSpec(app="App1", scheme="blocking", iterations=10, seed=9)
+    # per-scheme run seeds differ; the SPSA base seed is scheme-independent
+    assert run_seed(spec_base) != run_seed(spec_blocking)
+    assert spsa_seed(spec_base) == spsa_seed(spec_blocking)
+
+    app = get_app("App1")
+    noise_model = NoiseModel.from_device(app.build_device())
+    trace = app.build_trace(length=64, seed=9)
+    vqes = {}
+    for spec in (spec_base, spec_blocking):
+        objective = EnergyObjective(app.build_ansatz(), app.build_hamiltonian())
+        vqes[spec.scheme] = build_vqe(
+            spec.scheme, objective, trace, noise_model=noise_model,
+            seed=run_seed(spec), spsa_seed=spsa_seed(spec),
+        )
+    base, blocking = vqes["baseline"], vqes["blocking"]
+    # identical SPSA perturbation streams (paired comparisons) ...
+    assert (
+        base.optimizer.rng.bit_generator.state
+        == blocking.optimizer.rng.bit_generator.state
+    )
+    # ... over independent backend shot-noise streams
+    assert (
+        base.backend.rng.bit_generator.state
+        != blocking.backend.rng.bit_generator.state
+    )
+
+
+def test_build_vqe_trust_radius_defaults_preserved():
+    """spsa_trust_radius=None must not clobber SecondOrderSPSA's own
+    default step bound (regression: a literal trust_radius=None kwarg
+    defeats the subclass's setdefault)."""
+    app = get_app("App1")
+    noise_model = NoiseModel.from_device(app.build_device())
+    trace = app.build_trace(length=32, seed=4)
+
+    def build(scheme, **kwargs):
+        objective = EnergyObjective(app.build_ansatz(), app.build_hamiltonian())
+        return build_vqe(scheme, objective, trace, noise_model=noise_model, **kwargs)
+
+    assert build("2nd-order").optimizer.trust_radius == 0.1
+    assert build("2nd-order", spsa_trust_radius=0.3).optimizer.trust_radius == 0.3
+    assert build("baseline").optimizer.trust_radius is None
+    assert build("baseline", spsa_trust_radius=0.2).optimizer.trust_radius == 0.2
+
+
+def test_run_comparison_matches_standalone_spec_execution():
+    """The shim is a thin veneer: a scheme's run inside a comparison is
+    bit-identical to executing that scheme's spec on its own."""
+    from repro.runtime import RunSpec, execute_run
+
+    app = get_app("App1")
+    comp = run_comparison(app, ["baseline", "qismet"], iterations=8, seed=11)
+    solo = execute_run(
+        RunSpec(app="App1", scheme="qismet", iterations=8, seed=11)
+    )
+    assert solo.result.to_dict() == comp.results["qismet"].to_dict()

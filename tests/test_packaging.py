@@ -1,0 +1,28 @@
+"""Packaging metadata stays in sync with the library."""
+
+import tomllib
+from pathlib import Path
+
+import repro
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _pyproject():
+    with (ROOT / "pyproject.toml").open("rb") as handle:
+        return tomllib.load(handle)
+
+
+def test_pyproject_exists_with_src_layout():
+    data = _pyproject()
+    assert data["project"]["name"] == "qismet-repro"
+    assert data["tool"]["setuptools"]["packages"]["find"]["where"] == ["src"]
+
+
+def test_version_single_source_of_truth():
+    data = _pyproject()
+    assert "version" in data["project"]["dynamic"]
+    attr = data["tool"]["setuptools"]["dynamic"]["version"]["attr"]
+    assert attr == "repro.__version__"
+    # the attribute it points at actually exists and is a sane version
+    assert repro.__version__.count(".") == 2
