@@ -5,7 +5,7 @@
 * trust-region SPSA interaction (step bounding vs transient kicks).
 """
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.config import default_iterations
 from repro.experiments.registry import get_app

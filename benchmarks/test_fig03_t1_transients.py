@@ -1,6 +1,6 @@
 """Fig. 3: transient fluctuations in T1 times over 65 hours."""
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import fig3_t1_transients
 

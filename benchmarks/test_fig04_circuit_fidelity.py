@@ -1,6 +1,6 @@
 """Fig. 4: circuit fidelity variation over 45 hours (shallow vs deep)."""
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import fig4_circuit_fidelity
 

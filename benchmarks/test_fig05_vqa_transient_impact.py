@@ -1,7 +1,7 @@
 """Fig. 5: extreme transient impact on a long baseline VQA run."""
 
 import numpy as np
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import fig5_vqa_transient_impact
 

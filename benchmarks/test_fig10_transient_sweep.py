@@ -1,7 +1,7 @@
 """Fig. 10: sweeping the transient-noise magnitude from 0 to 50 %."""
 
 import numpy as np
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import fig10_transient_sweep
 

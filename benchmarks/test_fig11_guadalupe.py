@@ -1,6 +1,6 @@
 """Fig. 11: QISMET vs baseline on (fake) IBMQ Guadalupe, ~270 iterations."""
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import machine_run
 

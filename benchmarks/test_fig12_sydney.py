@@ -4,7 +4,7 @@ Sydney's profile is smooth tuning with rare sharp transient phases —
 exactly the case where a handful of skips buys a large improvement.
 """
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import machine_run
 

@@ -6,7 +6,7 @@ every machine, noisier machines benefiting more); absolute factors are
 smaller because the synthetic substrate softens real-device pathologies.
 """
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import fig13_machines
 

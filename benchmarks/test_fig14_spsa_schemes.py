@@ -5,7 +5,7 @@ Resampling offer smaller, inconsistent gains; 2nd-order is *worse* than
 the baseline under transients.
 """
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import fig14_spsa_schemes
 

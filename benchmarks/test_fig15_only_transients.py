@@ -6,7 +6,7 @@ worse — because constructive transients get skipped too and every skip
 costs machine time.
 """
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import fig15_only_transients
 

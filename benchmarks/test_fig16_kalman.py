@@ -5,7 +5,7 @@ up to ~1.4x over the baseline but QISMET is substantially better, and the
 best (MV, T) choice varies by application.
 """
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import fig16_kalman
 

@@ -7,7 +7,7 @@ inconsistent; 2nd-order consistently below baseline; best-case Kalman
 absolute factors.
 """
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import fig17_main_results
 

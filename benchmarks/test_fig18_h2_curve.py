@@ -5,7 +5,7 @@ shape while the baseline deviates, increasingly at longer bond lengths.
 """
 
 import numpy as np
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import fig18_h2_curve
 

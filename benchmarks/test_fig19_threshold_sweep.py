@@ -6,7 +6,7 @@ threshold (75p) helps under high transient noise but can fall below the
 baseline when transients are rare.
 """
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.figures import fig19_threshold_sweep
 

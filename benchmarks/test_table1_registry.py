@@ -1,6 +1,6 @@
 """Table 1: the six TFIM VQA applications (configs + substrate build)."""
 
-from conftest import print_table, run_once
+from bench_helpers import print_table, run_once
 
 from repro.experiments.registry import APPLICATIONS
 

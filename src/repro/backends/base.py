@@ -7,9 +7,21 @@ therefore exposed to the *same* transient noise instance.
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Sequence
 
 import numpy as np
+
+
+def batching_disabled() -> bool:
+    """Whether ``REPRO_BATCH`` disables the batched evaluation fast path.
+
+    ``REPRO_BATCH=0`` (or ``off``/``false``/``serial``) forces every
+    evaluation down the one-call-per-job serial path — the debugging
+    escape hatch for isolating batched-vs-serial numeric differences.
+    """
+    value = os.environ.get("REPRO_BATCH", "").strip().lower()
+    return value in ("0", "off", "false", "serial")
 
 
 class EnergyJob:
@@ -28,7 +40,18 @@ class EnergyJob:
 
 
 class EnergyBackend:
-    """Base backend; subclasses implement ``_evaluate``."""
+    """Base backend; subclasses implement ``_evaluate``.
+
+    Backends whose per-job evaluation is independent of job *creation*
+    order (everything keyed off ``job_index`` plus a sequentially consumed
+    RNG) may set ``supports_batch = True`` and override
+    :meth:`_evaluate_batch` to vectorize the expensive ideal-energy part
+    across a whole block of evaluations. Job accounting — one job per
+    evaluation, one circuit per job — is identical on both paths.
+    """
+
+    #: Opt-in flag for the batched evaluation fast path.
+    supports_batch = False
 
     def __init__(self) -> None:
         self.job_counter = 0
@@ -42,6 +65,40 @@ class EnergyBackend:
 
     def _evaluate(self, theta: np.ndarray, job_index: int) -> float:
         raise NotImplementedError
+
+    def _evaluate_batch(
+        self, thetas: np.ndarray, job_indices: Sequence[int]
+    ) -> np.ndarray:
+        """Batched ``_evaluate``; override together with ``supports_batch``.
+
+        Implementations must consume any backend RNG in the same order as
+        ``[_evaluate(t, j) for t, j in zip(thetas, job_indices)]`` so that
+        batched and serial execution draw identical noise streams.
+        """
+        return np.array(
+            [self._evaluate(t, j) for t, j in zip(thetas, job_indices)],
+            dtype=float,
+        )
+
+    def evaluate_jobs(self, thetas: np.ndarray) -> np.ndarray:
+        """Evaluate a ``(B, P)`` block, one quantum job per row.
+
+        Batch-capable backends open all jobs up front and evaluate the
+        block in one :meth:`_evaluate_batch` call; the rest interleave
+        ``new_job``/``energy`` exactly like serial callers (some backends
+        — e.g. the Kalman wrapper — couple evaluation to job creation
+        order).
+        """
+        thetas = np.asarray(thetas, dtype=float)
+        if not self.supports_batch or batching_disabled():
+            return np.array(
+                [self.new_job().energy(theta) for theta in thetas], dtype=float
+            )
+        jobs = [self.new_job() for _ in range(len(thetas))]
+        for job in jobs:
+            job.circuits_run += 1
+        self.total_circuits += len(jobs)
+        return self._evaluate_batch(thetas, [job.index for job in jobs])
 
     def reset(self) -> None:
         self.job_counter = 0

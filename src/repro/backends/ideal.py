@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.backends.base import EnergyBackend
@@ -11,9 +13,16 @@ from repro.vqa.objective import EnergyObjective
 class IdealBackend(EnergyBackend):
     """Exact statevector energies; no static noise, no transients."""
 
+    supports_batch = True
+
     def __init__(self, objective: EnergyObjective):
         super().__init__()
         self.objective = objective
 
     def _evaluate(self, theta: np.ndarray, job_index: int) -> float:
         return self.objective.ideal_energy(theta)
+
+    def _evaluate_batch(
+        self, thetas: np.ndarray, job_indices: Sequence[int]
+    ) -> np.ndarray:
+        return self.objective.batch_energies(thetas)

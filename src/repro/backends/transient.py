@@ -17,7 +17,7 @@ transient — the mechanism QISMET exploits.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +31,8 @@ from repro.vqa.objective import EnergyObjective
 
 class StaticNoiseBackend(EnergyBackend):
     """Static noise only — the paper's (unrealistic) blue line."""
+
+    supports_batch = True
 
     def __init__(
         self,
@@ -52,13 +54,35 @@ class StaticNoiseBackend(EnergyBackend):
         # Depolarization suppresses the signal *and* the estimator variance
         # stays shot-limited; keep sigma unscaled (conservative).
 
-    def static_energy(self, theta: np.ndarray) -> float:
-        ideal = self.objective.ideal_energy(theta)
+    def _static_mix(self, ideal: float) -> float:
+        """Global-depolarizing mix of an ideal energy (no shot noise)."""
         return self.survival * ideal + (1.0 - self.survival) * self.mixed_energy
 
+    def static_energy(self, theta: np.ndarray) -> float:
+        return self._static_mix(self.objective.ideal_energy(theta))
+
+    def _finish(self, theta: np.ndarray, ideal: float, job_index: int) -> float:
+        """Noise model applied to a precomputed ideal energy."""
+        return self._static_mix(ideal) + self.rng.normal(0.0, self.shot_sigma)
+
     def _evaluate(self, theta: np.ndarray, job_index: int) -> float:
-        noisy = self.static_energy(theta)
-        return noisy + self.rng.normal(0.0, self.shot_sigma)
+        return self._finish(theta, self.objective.ideal_energy(theta), job_index)
+
+    def _evaluate_batch(
+        self, thetas: np.ndarray, job_indices: Sequence[int]
+    ) -> np.ndarray:
+        # The expensive part — the ideal energies — runs through the
+        # batched simulator in one pass; the per-evaluation noise draws
+        # then happen element by element in row order, consuming the RNG
+        # stream exactly as serial evaluation would.
+        ideals = self.objective.batch_energies(thetas)
+        return np.array(
+            [
+                self._finish(theta, float(ideal), job_index)
+                for theta, ideal, job_index in zip(thetas, ideals, job_indices)
+            ],
+            dtype=float,
+        )
 
 
 class TransientBackend(StaticNoiseBackend):
@@ -156,9 +180,8 @@ class TransientBackend(StaticNoiseBackend):
     # perturbation saturates.
     _MAX_FRACTION = 1.2
 
-    def _evaluate(self, theta: np.ndarray, job_index: int) -> float:
-        ideal = self.objective.ideal_energy(theta)
-        static = self.survival * ideal + (1.0 - self.survival) * self.mixed_energy
+    def _finish(self, theta: np.ndarray, ideal: float, job_index: int) -> float:
+        static = self._static_mix(ideal)
         reference = (
             self.transient_scale
             if self.transient_scale is not None
@@ -167,3 +190,6 @@ class TransientBackend(StaticNoiseBackend):
         fraction = self.trace[job_index] * self.exposure(theta)
         fraction = float(np.clip(fraction, -self._MAX_FRACTION, self._MAX_FRACTION))
         return static + fraction * reference + self.rng.normal(0.0, self.shot_sigma)
+
+    def _evaluate(self, theta: np.ndarray, job_index: int) -> float:
+        return self._finish(theta, self.objective.ideal_energy(theta), job_index)

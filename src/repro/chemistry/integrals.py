@@ -165,12 +165,12 @@ def electron_repulsion_tensor(basis: Sequence[ContractedGaussian]) -> np.ndarray
     for i in range(n):
         for j in range(n):
             for k in range(n):
-                for l in range(n):
+                for m in range(n):
                     value = 0.0
                     for a, ca in zip(basis[i].exponents, weights[i]):
                         for b, cb in zip(basis[j].exponents, weights[j]):
                             for c, cc in zip(basis[k].exponents, weights[k]):
-                                for d, cd in zip(basis[l].exponents, weights[l]):
+                                for d, cd in zip(basis[m].exponents, weights[m]):
                                     value += (
                                         ca
                                         * cb
@@ -184,10 +184,10 @@ def electron_repulsion_tensor(basis: Sequence[ContractedGaussian]) -> np.ndarray
                                             c,
                                             centers[k],
                                             d,
-                                            centers[l],
+                                            centers[m],
                                         )
                                     )
-                    eri[i, j, k, l] = value
+                    eri[i, j, k, m] = value
     return eri
 
 

@@ -17,8 +17,6 @@ hand-rolled fermionic normal-ordering engine as a possible bug source.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Tuple
-
 import numpy as np
 
 _I2 = np.eye(2, dtype=complex)
@@ -97,11 +95,11 @@ def molecular_hamiltonian_matrix(
     for i in range(num_modes):
         for j in range(num_modes):
             for k in range(num_modes):
-                for l in range(num_modes):
-                    if spin(i) != spin(k) or spin(j) != spin(l):
+                for m in range(num_modes):
+                    if spin(i) != spin(k) or spin(j) != spin(m):
                         continue
                     coefficient = eri_mo[
-                        spatial(i), spatial(k), spatial(j), spatial(l)
+                        spatial(i), spatial(k), spatial(j), spatial(m)
                     ]
                     if abs(coefficient) < 1e-14:
                         continue
@@ -111,7 +109,7 @@ def molecular_hamiltonian_matrix(
                         * (
                             creators[i]
                             @ creators[j]
-                            @ annihilators[l]
+                            @ annihilators[m]
                             @ annihilators[k]
                         )
                     )
@@ -124,7 +122,6 @@ def sector_ground_energy(
     hamiltonian: np.ndarray, num_particles: int, num_modes: int
 ) -> float:
     """Lowest eigenvalue within a fixed particle-number sector."""
-    occupancies = np.arange(2**num_modes)
     # Popcount of each basis index gives the particle number (bit i of the
     # index corresponds to mode i because qubit 0 is the leading kron factor;
     # popcount is basis-order independent anyway).

@@ -37,6 +37,16 @@ class PlainEvaluator:
     def energy(self, theta: np.ndarray) -> float:
         return self.backend.new_job().energy(theta)
 
+    def energies(self, thetas: np.ndarray) -> np.ndarray:
+        """Evaluate a ``(B, P)`` block, one job per row, batched.
+
+        The batch contract consumed by :func:`repro.optimizers.base.
+        evaluate_many`: SPSA-style optimizers hand their theta+/theta-
+        pairs (and resampling/2SPSA blocks) here, and batch-capable
+        backends run all rows through the vectorized simulator at once.
+        """
+        return self.backend.evaluate_jobs(thetas)
+
     def __call__(self, theta: np.ndarray) -> float:
         return self.energy(theta)
 

@@ -10,8 +10,6 @@ changes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 import numpy as np
 
 from repro.utils.rng import derive_rng

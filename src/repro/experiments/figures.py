@@ -413,13 +413,12 @@ def fig18_h2_curve(
     one independent VQE per bond length; QISMET should track the
     noise-free bell shape while the baseline deviates.
     """
-    from repro.chemistry.h2 import dissociation_bond_lengths, h2_problem
+    from repro.chemistry.h2 import dissociation_bond_lengths
     from repro.noise.transient.trace_generator import machine_trace
     from repro.vqa.multi_vqe import DissociationCurveRunner
 
     iterations = iterations or default_iterations(600, 200)
     if bond_lengths is None:
-        count = 10 if default_iterations(10, 10) else 10
         bond_lengths = dissociation_bond_lengths(0.4, 2.0, 10)
         if iterations < 400:  # reduced scale: fewer geometries too
             bond_lengths = dissociation_bond_lengths(0.4, 2.0, 6)

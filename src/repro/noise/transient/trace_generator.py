@@ -12,9 +12,7 @@ transients.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
-
-import numpy as np
+from typing import Dict
 
 from repro.noise.transient.processes import (
     GaussianJitterProcess,

@@ -1,6 +1,12 @@
 """Pauli operators, Pauli-sum observables and measurement grouping."""
 
 from repro.operators.pauli import PauliString, pauli_matrix
+from repro.operators.pauli_apply import (
+    apply_pauli,
+    pauli_expectation,
+    pauli_masks,
+    pauli_sum_expectation,
+)
 from repro.operators.pauli_sum import PauliSum, PauliTerm
 from repro.operators.grouping import group_commuting_terms, qubitwise_commutes
 from repro.operators.decompose import pauli_decompose
@@ -9,6 +15,10 @@ from repro.operators.measurement_basis import basis_rotation_circuit, diagonal_v
 __all__ = [
     "PauliString",
     "pauli_matrix",
+    "apply_pauli",
+    "pauli_expectation",
+    "pauli_masks",
+    "pauli_sum_expectation",
     "PauliSum",
     "PauliTerm",
     "group_commuting_terms",

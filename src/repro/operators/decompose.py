@@ -12,7 +12,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.operators.pauli import PauliString, pauli_matrix
+from repro.operators.pauli import pauli_matrix
 from repro.operators.pauli_sum import PauliSum
 
 

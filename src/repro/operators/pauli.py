@@ -118,33 +118,17 @@ class PauliString:
     def apply_to_state(self, state: np.ndarray) -> np.ndarray:
         """Apply the string to a state tensor of shape ``(2,)*n``.
 
-        Implemented axis-by-axis with flips/phases instead of matrix
-        contraction, which keeps exact expectation evaluation cheap.
+        Routed through the matrix-free bitmask engine
+        (:mod:`repro.operators.pauli_apply`): one index-permutation gather
+        plus one phase multiply, never a dense matrix.
         """
-        out = np.array(state, dtype=complex, copy=True)
-        for qubit, char in enumerate(self.label):
-            if char == "I":
-                continue
-            if char == "X":
-                out = np.flip(out, axis=qubit).copy()
-            elif char == "Z":
-                index = [slice(None)] * out.ndim
-                index[qubit] = 1
-                out[tuple(index)] = -out[tuple(index)]
-            else:  # Y: flip then phase (Y|0> = i|1>, Y|1> = -i|0>)
-                out = np.flip(out, axis=qubit).copy()
-                index0 = [slice(None)] * out.ndim
-                index1 = [slice(None)] * out.ndim
-                index0[qubit] = 0
-                index1[qubit] = 1
-                out[tuple(index0)] = out[tuple(index0)] * (-1j)
-                out[tuple(index1)] = out[tuple(index1)] * (1j)
-        return out
+        from repro.operators.pauli_apply import apply_pauli
+
+        tensor = np.asarray(state, dtype=complex)
+        return apply_pauli(self.label, tensor.reshape(-1)).reshape(tensor.shape)
 
     def expectation(self, state: np.ndarray) -> float:
         """Exact ``<psi|P|psi>`` for a state tensor or flat statevector."""
-        tensor = np.asarray(state)
-        if tensor.ndim == 1:
-            tensor = tensor.reshape((2,) * self.num_qubits)
-        transformed = self.apply_to_state(tensor)
-        return float(np.real(np.vdot(tensor, transformed)))
+        from repro.operators.pauli_apply import pauli_expectation
+
+        return float(pauli_expectation(self.label, np.asarray(state).reshape(-1)))

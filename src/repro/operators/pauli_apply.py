@@ -1,0 +1,122 @@
+"""Matrix-free Pauli-string application to flat statevectors.
+
+A Pauli string is a signed permutation of the computational basis: for a
+basis index ``b`` (qubit 0 as the most-significant bit, matching the
+tensor layout in :mod:`repro.simulator.statevector`),
+
+``P |b> = i**n_Y * (-1)**popcount(b & zy_mask) * |b ^ x_mask>``
+
+where ``x_mask`` has a bit per X/Y factor (those flip the qubit) and
+``zy_mask`` a bit per Z/Y factor (those contribute a sign). Applying a
+string therefore costs one fancy-index gather plus one elementwise
+multiply — no ``2**n x 2**n`` matrix is ever built — and the gather
+vectorizes over any number of leading batch axes.
+
+The per-label index permutation and phase vector are memoized, so
+repeated expectation evaluation (the VQE hot path) pays the mask
+construction once per ``(label)`` and an O(2**n) gather per call.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+
+def _parity(values: np.ndarray) -> np.ndarray:
+    """Bit parity (popcount mod 2) of each entry of an integer array."""
+    if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+        return np.bitwise_count(values) & 1
+    parity = np.zeros_like(values)
+    shift = values.copy()
+    while shift.any():
+        parity ^= shift & 1
+        shift >>= 1
+    return parity
+
+
+def pauli_masks(label: str) -> Tuple[int, int, int]:
+    """``(x_mask, zy_mask, n_y)`` for a Pauli label, qubit 0 as MSB."""
+    n = len(label)
+    x_mask = 0
+    zy_mask = 0
+    n_y = 0
+    for qubit, char in enumerate(label):
+        bit = 1 << (n - 1 - qubit)
+        if char in "XY":
+            x_mask |= bit
+        if char in "ZY":
+            zy_mask |= bit
+        if char == "Y":
+            n_y += 1
+        elif char not in "IXZ":
+            raise ValueError(f"invalid Pauli label {label!r}")
+    return x_mask, zy_mask, n_y
+
+
+@lru_cache(maxsize=512)
+def _permutation_and_phase(label: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Memoized ``(gather indices, phases)`` arrays for one label.
+
+    ``(P psi)[j] = phases[j ^ x_mask] * psi[j ^ x_mask]``; both returned
+    arrays have length ``2**n``. The phase array is kept real (``+-1``)
+    when the string has an even number of Y factors.
+    """
+    x_mask, zy_mask, n_y = pauli_masks(label)
+    dim = 1 << len(label)
+    indices = np.arange(dim, dtype=np.intp) ^ x_mask
+    signs = 1.0 - 2.0 * _parity(indices & zy_mask)
+    prefactor = 1j**n_y
+    if n_y % 2 == 0:
+        phases = float(np.real(prefactor)) * signs
+    else:
+        phases = prefactor * signs.astype(complex)
+    return indices, phases
+
+
+def apply_pauli(label: str, states: np.ndarray) -> np.ndarray:
+    """``P @ states`` for flat statevectors along the last axis.
+
+    ``states`` has shape ``(..., 2**n)``; any leading axes are batch axes.
+    """
+    states = np.asarray(states)
+    indices, phases = _permutation_and_phase(label)
+    if states.shape[-1] != indices.size:
+        raise ValueError(
+            f"state dimension {states.shape[-1]} does not match "
+            f"{len(label)}-qubit label {label!r}"
+        )
+    return phases * states[..., indices]
+
+
+def pauli_expectation(label: str, states: np.ndarray) -> np.ndarray:
+    """``<psi|P|psi>`` along the last axis; real-valued, batch-shaped.
+
+    Returns a scalar ``float`` for a single flat statevector and an array
+    of shape ``states.shape[:-1]`` for batched input.
+    """
+    states = np.asarray(states, dtype=complex)
+    transformed = apply_pauli(label, states)
+    values = np.real(np.einsum("...i,...i->...", np.conj(states), transformed))
+    if values.ndim == 0:
+        return float(values)
+    return values
+
+
+def pauli_sum_expectation(
+    coefficients: np.ndarray, labels: Tuple[str, ...], states: np.ndarray
+) -> np.ndarray:
+    """Weighted-sum expectation of several Pauli strings, batch-aware.
+
+    ``states`` is ``(..., 2**n)``; the return value is a float for 1-D
+    input and a ``states.shape[:-1]`` array otherwise.
+    """
+    states = np.asarray(states, dtype=complex)
+    total = np.zeros(states.shape[:-1])
+    for coefficient, label in zip(coefficients, labels):
+        total = total + coefficient * pauli_expectation(label, states)
+    if total.ndim == 0:
+        return float(total)
+    return total

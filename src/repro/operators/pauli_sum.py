@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple, Union
 
 import numpy as np
 
 from repro.operators.pauli import PauliString
+from repro.operators.pauli_apply import pauli_sum_expectation
 
 
 @dataclass(frozen=True)
@@ -99,13 +100,37 @@ class PauliSum:
         return matrix
 
     def expectation(self, state: np.ndarray) -> float:
-        """Exact expectation against a statevector (flat or tensor)."""
-        return float(
-            sum(
-                term.coefficient * term.pauli.expectation(state)
-                for term in self._terms
+        """Exact expectation against a statevector (flat or tensor).
+
+        Routed through the matrix-free bitmask engine: each term costs one
+        index-permutation gather, so no per-term dense matrix (and no
+        axis-by-axis tensor manipulation) is ever materialized.
+        """
+        psi = np.asarray(state, dtype=complex).reshape(-1)
+        coefficients, labels = self._flat_terms()
+        return float(pauli_sum_expectation(coefficients, labels, psi))
+
+    def batch_expectations(self, states: np.ndarray) -> np.ndarray:
+        """Exact expectations for a batch of flat statevectors.
+
+        ``states`` has shape ``(..., 2**n)``; returns ``states.shape[:-1]``
+        real values, evaluating every term vectorized over the batch axes.
+        """
+        states = np.asarray(states, dtype=complex)
+        coefficients, labels = self._flat_terms()
+        return np.asarray(pauli_sum_expectation(coefficients, labels, states))
+
+    def _flat_terms(self) -> Tuple[np.ndarray, Tuple[str, ...]]:
+        """``(coefficients, labels)`` in term order (cached; terms are
+        immutable, so the hot path avoids rebuilding them per call)."""
+        cached = getattr(self, "_flat_cache", None)
+        if cached is None:
+            cached = (
+                np.array([term.coefficient for term in self._terms]),
+                tuple(term.pauli.label for term in self._terms),
             )
-        )
+            self._flat_cache = cached
+        return cached
 
     def ground_state_energy(self) -> float:
         """Smallest eigenvalue by dense diagonalization."""

@@ -3,11 +3,28 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 import numpy as np
 
 Evaluator = Callable[[np.ndarray], float]
+
+
+def evaluate_many(evaluate: Evaluator, thetas: np.ndarray) -> np.ndarray:
+    """Evaluate several parameter vectors, batched when supported.
+
+    Evaluators exposing an ``energies(thetas) -> np.ndarray`` method (the
+    batch contract of :class:`repro.core.executor.PlainEvaluator`) get the
+    whole block in one call — one quantum job per row, evaluated through
+    the backend's batched fast path. Everything else falls back to one
+    ``evaluate`` call per row, in row order, so seed-derived noise streams
+    are consumed exactly as in the serial code path.
+    """
+    thetas = np.asarray(thetas, dtype=float)
+    energies = getattr(evaluate, "energies", None)
+    if energies is not None:
+        return np.asarray(energies(thetas), dtype=float)
+    return np.array([float(evaluate(theta)) for theta in thetas])
 
 
 @dataclass

@@ -22,7 +22,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.optimizers.base import Evaluator, IterativeOptimizer
+from repro.optimizers.base import Evaluator, IterativeOptimizer, evaluate_many
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -86,8 +86,12 @@ class SPSA(IterativeOptimizer):
         self, theta: np.ndarray, evaluate: Evaluator, ck: float
     ) -> np.ndarray:
         delta = self._rademacher(theta.size)
-        plus = evaluate(theta + ck * delta)
-        minus = evaluate(theta - ck * delta)
+        # The theta+/theta- pair is one batched call: batch-capable
+        # evaluators (ideal/static/transient backends) push both points
+        # through the vectorized simulator in a single NumPy pass.
+        plus, minus = evaluate_many(
+            evaluate, np.stack([theta + ck * delta, theta - ck * delta])
+        )
         self._count_eval()
         self._count_eval()
         return (plus - minus) / (2.0 * ck) * (1.0 / delta)
@@ -116,10 +120,28 @@ class ResamplingSPSA(SPSA):
         theta = np.asarray(theta, dtype=float)
         k = self.state.iteration
         ck = self.perturbation_size(k)
+        # All resamplings' theta+/theta- pairs go out as one batched call
+        # (2R rows). Deltas are drawn up front in the same RNG order as
+        # the serial loop, and rows keep the serial evaluation order
+        # (p1, m1, p2, m2, ...), so noise streams are consumed
+        # identically.
+        deltas = [self._rademacher(theta.size) for _ in range(self.resamplings)]
+        rows = np.stack(
+            [
+                theta + sign * ck * delta
+                for delta in deltas
+                for sign in (1.0, -1.0)
+            ]
+        )
+        energies = evaluate_many(evaluate, rows)
+        for _ in range(2 * self.resamplings):
+            self._count_eval()
         gradient = np.mean(
             [
-                self.gradient_estimate(theta, evaluate, ck)
-                for _ in range(self.resamplings)
+                (energies[2 * i] - energies[2 * i + 1])
+                / (2.0 * ck)
+                * (1.0 / delta)
+                for i, delta in enumerate(deltas)
             ],
             axis=0,
         )
@@ -192,10 +214,19 @@ class SecondOrderSPSA(SPSA):
         delta1 = self._rademacher(theta.size)
         delta2 = self._rademacher(theta.size)
 
-        plus = evaluate(theta + ck * delta1)
-        minus = evaluate(theta - ck * delta1)
-        plus_tilde = evaluate(theta + ck * delta1 + ck * delta2)
-        minus_tilde = evaluate(theta - ck * delta1 + ck * delta2)
+        # All four evaluation points of 2SPSA go out as one batched call,
+        # rows in the serial evaluation order.
+        plus, minus, plus_tilde, minus_tilde = evaluate_many(
+            evaluate,
+            np.stack(
+                [
+                    theta + ck * delta1,
+                    theta - ck * delta1,
+                    theta + ck * delta1 + ck * delta2,
+                    theta - ck * delta1 + ck * delta2,
+                ]
+            ),
+        )
         for _ in range(4):
             self._count_eval()
 

@@ -21,6 +21,14 @@ Determinism contract: every stochastic stream is derived from the spec's
 
 Executing the same spec in any process therefore yields bit-identical
 results.
+
+Hot path: every run built here routes its same-circuit evaluations
+through the batched engine — SPSA's theta+/theta- pairs (and the
+resampling/2SPSA blocks) reach the backend as one block, and
+batch-capable backends evaluate them in a single vectorized simulator
+pass (see :mod:`repro.simulator.batched`). RNG streams are consumed in
+the serial order, so executor choice *and* batching leave results
+unchanged; ``REPRO_BATCH=0`` forces the serial path for debugging.
 """
 
 from __future__ import annotations

@@ -7,6 +7,11 @@ approximations of the transient backend).
 """
 
 from repro.simulator.statevector import StatevectorSimulator, simulate_statevector
+from repro.simulator.batched import (
+    BatchedStatevectorSimulator,
+    apply_gate_batched,
+    simulate_statevectors,
+)
 from repro.simulator.density_matrix import DensityMatrixSimulator
 from repro.simulator.sampling import counts_from_probabilities, sample_counts
 from repro.simulator.expectation import (
@@ -18,6 +23,9 @@ from repro.simulator.expectation import (
 __all__ = [
     "StatevectorSimulator",
     "simulate_statevector",
+    "BatchedStatevectorSimulator",
+    "apply_gate_batched",
+    "simulate_statevectors",
     "DensityMatrixSimulator",
     "counts_from_probabilities",
     "sample_counts",

@@ -8,7 +8,7 @@ systems (n <= ~10), which covers every workload in the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 

@@ -3,7 +3,7 @@
 from repro.vqa.objective import EnergyObjective
 from repro.vqa.result import IterationRecord, VQEResult
 from repro.vqa.vqe import VQE
-from repro.vqa.multi_vqe import DissociationCurveRunner
+from repro.vqa.multi_vqe import DissociationCurveRunner, PopulationVQE
 
 __all__ = [
     "EnergyObjective",
@@ -11,4 +11,5 @@ __all__ = [
     "VQEResult",
     "VQE",
     "DissociationCurveRunner",
+    "PopulationVQE",
 ]

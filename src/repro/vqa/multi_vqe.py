@@ -1,9 +1,14 @@
-"""Multi-VQE experiments: dissociation curves (paper Section 7.6).
+"""Multi-VQE experiments: dissociation curves and seed populations.
 
-Estimating a molecule's potential-energy surface requires one VQE per
-geometry (one Hamiltonian per bond length). Transients hitting some of
-those runs harder than others skew energy *differences* — the quantity
-chemistry actually cares about — which is what Fig. 18 demonstrates.
+Two multi-run workloads live here:
+
+* :class:`DissociationCurveRunner` — one VQE per molecular geometry
+  (paper Section 7.6 / Fig. 18);
+* :class:`PopulationVQE` — many *seeds* of the same noise-free VQE run
+  in lock step, with every population evaluation (all chains'
+  theta+/theta- SPSA pairs, candidates, and tracked true energies)
+  batched through :meth:`EnergyObjective.batch_energies` — one
+  vectorized simulator pass instead of one circuit per chain.
 """
 
 from __future__ import annotations
@@ -14,8 +19,10 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.chemistry.h2 import H2Problem, h2_problem
+from repro.optimizers.base import IterativeOptimizer
+from repro.optimizers.spsa import SPSA
 from repro.vqa.objective import EnergyObjective
-from repro.vqa.result import VQEResult
+from repro.vqa.result import IterationRecord, VQEResult
 from repro.vqa.vqe import VQE
 
 # Builds a ready-to-run VQE for one bond length's problem.
@@ -89,6 +96,151 @@ class DissociationCurveRunner:
                 )
             )
         return points
+
+
+class PopulationVQE:
+    """Lock-step multi-seed VQE on the exact (noise-free) objective.
+
+    Runs ``S`` independent plain-SPSA chains simultaneously: per
+    iteration, all chains' perturbation pairs go through *one*
+    ``batch_energies`` call (``2S`` rows), then all candidates (``S``
+    rows), then — when tracking — all true energies (``S`` rows). Each
+    chain's outcome is equivalent to a separate
+    ``VQE(objective, IdealBackend(objective), SPSA(seed=s))`` run up to
+    floating-point reassociation (<= 1e-12; asserted by
+    ``tests/test_batched_equivalence.py``).
+
+    Only *plain* first-order SPSA chains are supported: the lock-step
+    loop hand-rolls the one-pair gradient step, so optimizers that
+    override ``propose`` (resampling, 2SPSA) or the acceptance rule
+    (blocking) would silently lose their behavior — :meth:`run` rejects
+    them instead.
+    """
+
+    def __init__(
+        self,
+        objective: EnergyObjective,
+        spsa_factory: Optional[Callable[[int], SPSA]] = None,
+        track_true_energy: bool = True,
+    ):
+        self.objective = objective
+        self.spsa_factory = spsa_factory or (lambda seed: SPSA(seed=seed))
+        self.track_true_energy = track_true_energy
+
+    def run(
+        self,
+        iterations: int,
+        seeds: Sequence[int],
+        theta0s: Optional[np.ndarray] = None,
+    ) -> List[VQEResult]:
+        """Run all seeds for ``iterations`` lock-step optimizer steps."""
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not len(seeds):
+            raise ValueError("need at least one seed")
+        optimizers = [self.spsa_factory(int(seed)) for seed in seeds]
+        for optimizer in optimizers:
+            if not isinstance(optimizer, SPSA):
+                raise TypeError("PopulationVQE requires SPSA optimizers")
+            if type(optimizer).accepts is not IterativeOptimizer.accepts:
+                raise TypeError(
+                    "PopulationVQE requires always-accepting (plain) SPSA; "
+                    f"{type(optimizer).__name__} overrides the acceptance rule"
+                )
+            if type(optimizer).propose is not SPSA.propose:
+                raise TypeError(
+                    "PopulationVQE batches the plain one-pair SPSA step; "
+                    f"{type(optimizer).__name__} overrides propose() and "
+                    "would lose its behavior in lock-step mode"
+                )
+            optimizer.reset()
+
+        size = len(optimizers)
+        if theta0s is None:
+            theta = np.stack(
+                [self.objective.initial_point(seed=int(seed)) for seed in seeds]
+            )
+        else:
+            theta = np.array(theta0s, dtype=float)
+        if theta.shape != (size, self.objective.num_parameters):
+            raise ValueError("theta0s has the wrong shape")
+
+        results = [VQEResult() for _ in range(size)]
+        energies = self.objective.batch_energies(theta)
+        self._record_all(results, 0, energies, energies, theta)
+
+        dim = self.objective.num_parameters
+        for index in range(1, iterations):
+            # All chains' theta +- ck*delta pairs as one (2S, P) batch;
+            # rows keep per-chain (plus, minus) order.
+            rows = np.empty((2 * size, dim))
+            deltas = []
+            for i, optimizer in enumerate(optimizers):
+                k = optimizer.state.iteration
+                ck = optimizer.perturbation_size(k)
+                delta = optimizer._rademacher(dim)
+                deltas.append((ck, delta))
+                rows[2 * i] = theta[i] + ck * delta
+                rows[2 * i + 1] = theta[i] - ck * delta
+            pair_energies = self.objective.batch_energies(rows)
+
+            candidates = np.empty_like(theta)
+            for i, optimizer in enumerate(optimizers):
+                k = optimizer.state.iteration
+                ck, delta = deltas[i]
+                gradient = (
+                    (pair_energies[2 * i] - pair_energies[2 * i + 1])
+                    / (2.0 * ck)
+                    * (1.0 / delta)
+                )
+                candidates[i] = optimizer._apply_step(
+                    theta[i], optimizer.learning_rate(k) * gradient
+                )
+                optimizer._count_eval()
+                optimizer._count_eval()
+
+            energies = self.objective.batch_energies(candidates)
+            theta = candidates
+            for i, optimizer in enumerate(optimizers):
+                optimizer.feedback(True, theta[i], float(energies[i]))
+            self._record_all(results, index, energies, energies, theta)
+
+        for i, result in enumerate(results):
+            result.final_theta = theta[i].copy()
+            # Same accounting as a serial VQE(IdealBackend) run: one job
+            # (= one circuit) per objective evaluation the optimizer sees.
+            result.total_jobs = 3 * len(result.records) - 2
+            result.total_circuits = result.total_jobs
+        return results
+
+    def _record_all(
+        self,
+        results: List[VQEResult],
+        index: int,
+        machine_energies: np.ndarray,
+        candidate_energies: np.ndarray,
+        theta: np.ndarray,
+    ) -> None:
+        true_energies: Optional[np.ndarray] = None
+        if self.track_true_energy:
+            true_energies = self.objective.batch_energies(theta)
+        for i, result in enumerate(results):
+            result.records.append(
+                IterationRecord(
+                    index=index,
+                    machine_energy=float(machine_energies[i]),
+                    true_energy=(
+                        float(true_energies[i]) if true_energies is not None else None
+                    ),
+                    candidate_energy=float(candidate_energies[i]),
+                    tm=None,
+                    gm=None,
+                    gp=None,
+                    retries=0,
+                    accepted_by_controller=True,
+                    accepted_by_optimizer=True,
+                )
+            )
 
 
 def curve_rms_error(points: Sequence[CurvePoint]) -> float:

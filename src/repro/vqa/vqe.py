@@ -87,9 +87,12 @@ class VQE:
         for index in range(1, iterations):
             if max_jobs is not None and self.backend.job_counter >= max_jobs:
                 break
-            theta_candidate = self.optimizer.propose(
-                theta_current, self.evaluator.energy
-            )
+            # The evaluator object itself is the optimizer's evaluate
+            # callback: calling it evaluates one point, and evaluators
+            # exposing ``.energies`` let SPSA batch its theta+/theta-
+            # pairs through the vectorized simulator (GuardedEvaluator is
+            # inherently sequential and keeps the per-call path).
+            theta_candidate = self.optimizer.propose(theta_current, self.evaluator)
             retries_before = self.evaluator.total_retries
             em_candidate = self.evaluator.energy(theta_candidate)
             retries = self.evaluator.total_retries - retries_before

@@ -9,7 +9,6 @@ from repro.chemistry.jordan_wigner import (
     creation_operator,
     molecular_hamiltonian_matrix,
     number_operator,
-    sector_ground_energy,
 )
 
 
@@ -50,7 +49,7 @@ def test_number_operator_spectrum():
 
 
 def test_hamiltonian_conserves_particle_number():
-    problem = h2_problem(0.9)
+    h2_problem(0.9)
     # Build the matrix again and check commutation with N.
     from repro.chemistry.basis import angstrom_to_bohr
 

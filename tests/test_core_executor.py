@@ -59,8 +59,8 @@ def test_guarded_evaluator_retries_through_spike(objective):
     evaluator = GuardedEvaluator(backend, controller)
     theta = objective.initial_point(seed=2)
 
-    e0 = evaluator.energy(theta)            # job 0, quiet
-    e1 = evaluator.energy(theta + 0.05)     # job 1, quiet
+    evaluator.energy(theta)                 # job 0, quiet
+    evaluator.energy(theta + 0.05)          # job 1, quiet
     e2 = evaluator.energy(theta + 0.10)     # job 2 spiked -> retry -> job 3
     assert evaluator.total_retries == 1
     assert backend.job_counter == 4

@@ -5,11 +5,8 @@ API drift without paying their full runtime.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
-import numpy as np
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

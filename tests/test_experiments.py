@@ -8,7 +8,7 @@ from repro.experiments.metrics import (
     progress_fraction,
     tail_energy,
 )
-from repro.experiments.registry import APPLICATIONS, app_names, get_app
+from repro.experiments.registry import app_names, get_app
 from repro.experiments.runner import geomean_improvements, run_comparison
 from repro.experiments.schemes import SCHEME_NAMES, build_vqe
 from repro.noise.noise_model import NoiseModel

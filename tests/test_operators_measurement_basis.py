@@ -1,4 +1,3 @@
-import numpy as np
 import pytest
 
 from repro.operators.measurement_basis import basis_rotation_circuit, diagonal_value

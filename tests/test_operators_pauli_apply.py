@@ -1,0 +1,125 @@
+"""Unit tests for the matrix-free bitmask Pauli engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.operators.pauli import PauliString
+from repro.operators.pauli_apply import (
+    apply_pauli,
+    pauli_expectation,
+    pauli_masks,
+    pauli_sum_expectation,
+)
+from repro.operators.pauli_sum import PauliSum
+
+
+def random_state(rng, num_qubits):
+    psi = rng.standard_normal(2**num_qubits) + 1j * rng.standard_normal(
+        2**num_qubits
+    )
+    return psi / np.linalg.norm(psi)
+
+
+def test_pauli_masks_conventions():
+    # Qubit 0 is the most-significant bit of the flat index.
+    x_mask, zy_mask, n_y = pauli_masks("XIZ")
+    assert x_mask == 0b100
+    assert zy_mask == 0b001
+    assert n_y == 0
+    x_mask, zy_mask, n_y = pauli_masks("YY")
+    assert x_mask == 0b11
+    assert zy_mask == 0b11
+    assert n_y == 2
+
+
+def test_pauli_masks_rejects_bad_labels():
+    with pytest.raises(ValueError):
+        pauli_masks("XQ")
+
+
+@pytest.mark.parametrize("num_qubits", [1, 2, 3, 4, 6])
+def test_apply_pauli_matches_dense(num_qubits):
+    rng = np.random.default_rng(num_qubits)
+    for _ in range(10):
+        label = "".join(rng.choice(list("IXYZ"), size=num_qubits))
+        psi = random_state(rng, num_qubits)
+        dense = PauliString(label).to_matrix() @ psi
+        np.testing.assert_allclose(
+            apply_pauli(label, psi), dense, atol=1e-12, rtol=0.0
+        )
+
+
+def test_apply_pauli_batched_axes():
+    rng = np.random.default_rng(3)
+    states = np.stack([random_state(rng, 3) for _ in range(4)])
+    out = apply_pauli("XYZ", states)
+    for i in range(4):
+        np.testing.assert_allclose(
+            out[i], apply_pauli("XYZ", states[i]), atol=1e-12, rtol=0.0
+        )
+
+
+def test_apply_pauli_validates_dimension():
+    with pytest.raises(ValueError):
+        apply_pauli("XX", np.zeros(2, dtype=complex))
+
+
+def test_pauli_expectation_scalar_and_batch():
+    rng = np.random.default_rng(9)
+    psi = random_state(rng, 4)
+    label = "ZXIY"
+    expected = np.real(
+        np.vdot(psi, PauliString(label).to_matrix() @ psi)
+    )
+    scalar = pauli_expectation(label, psi)
+    assert isinstance(scalar, float)
+    assert scalar == pytest.approx(expected, abs=1e-12)
+    batch = pauli_expectation(label, np.stack([psi, psi]))
+    np.testing.assert_allclose(batch, [expected, expected], atol=1e-12)
+
+
+def test_pauli_sum_expectation_matches_dense():
+    rng = np.random.default_rng(11)
+    operator = PauliSum(
+        [(0.5, "XZI"), (-1.25, "YYZ"), (2.0, "III"), (0.75, "ZIZ")]
+    )
+    psi = random_state(rng, 3)
+    dense = operator.to_matrix()
+    expected = float(np.real(np.vdot(psi, dense @ psi)))
+    assert operator.expectation(psi) == pytest.approx(expected, abs=1e-12)
+    value = pauli_sum_expectation(
+        operator.coefficients, tuple(p.label for p in operator.paulis), psi
+    )
+    assert value == pytest.approx(expected, abs=1e-12)
+
+
+def test_pauli_sum_batch_expectations():
+    rng = np.random.default_rng(13)
+    operator = PauliSum([(1.0, "XY"), (0.5, "ZZ"), (-0.25, "IX")])
+    states = np.stack([random_state(rng, 2) for _ in range(5)])
+    batch = operator.batch_expectations(states)
+    assert batch.shape == (5,)
+    for i in range(5):
+        assert batch[i] == pytest.approx(
+            operator.expectation(states[i]), abs=1e-12
+        )
+
+
+def test_string_expectation_accepts_tensor_and_flat():
+    rng = np.random.default_rng(17)
+    psi = random_state(rng, 3)
+    pauli = PauliString("ZXY")
+    flat = pauli.expectation(psi)
+    tensor = pauli.expectation(psi.reshape((2, 2, 2)))
+    assert flat == pytest.approx(tensor, abs=1e-14)
+
+
+def test_apply_to_state_round_trip():
+    # P*P = I for any Pauli string: applying twice must return the input.
+    rng = np.random.default_rng(19)
+    psi = random_state(rng, 4).reshape((2,) * 4)
+    pauli = PauliString("XYZI")
+    twice = pauli.apply_to_state(pauli.apply_to_state(psi))
+    np.testing.assert_allclose(twice, psi, atol=1e-12, rtol=0.0)

@@ -4,7 +4,7 @@ import pytest
 from repro.ansatz.real_amplitudes import RealAmplitudes
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.library import random_circuit
-from repro.devices.coupling import falcon_map, line_map, ring_map
+from repro.devices.coupling import falcon_map, line_map
 from repro.simulator.statevector import simulate_statevector
 from repro.transpiler.basis import (
     NATIVE_GATES,
@@ -12,7 +12,7 @@ from repro.transpiler.basis import (
     translate_to_basis,
     zsxzsxz_angles,
 )
-from repro.transpiler.layout import apply_layout, linear_chain_layout, trivial_layout
+from repro.transpiler.layout import linear_chain_layout, trivial_layout
 from repro.transpiler.passes import transpile
 from repro.transpiler.routing import route_circuit
 

@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.utils.rng import derive_rng, derive_seed, ensure_rng
 

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Gate CI on perf regressions in ``BENCH_perf.json``.
+
+Compares a freshly generated benchmark file against the committed
+baseline. Absolute round times are meaningless across runner hardware,
+so two machine-independent checks gate the build:
+
+1. the batch-of-8 speedup over 8 serial evaluations must stay above a
+   floor (default 3x — the repo's headline batching win);
+2. each benchmark's time *normalized by its in-run reference benchmark*
+   (its ``reference`` field — a benchmark from the same cost family,
+   defaulting to the file's ``reference_benchmark``) must not regress
+   more than ``--max-regression`` (default 25%) against the baseline's
+   normalized value. A benchmark that is its own reference is exempt —
+   it is a unit of measurement; one whose reference changed between
+   baseline and current is reported but not gated (schema migration).
+
+Exit status is non-zero on any violation, with a per-benchmark report
+either way.
+
+Usage::
+
+    python tools/check_bench.py --baseline old.json --current BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SPEEDUP_KEY = "batch8_speedup_vs_serial8"
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"check_bench: cannot read {path}: {exc}")
+
+
+def normalized_times(payload: dict, path: Path) -> tuple:
+    """``({name: normalized_min}, {name: reference_name})`` for one file."""
+    benchmarks = payload.get("benchmarks", {})
+    default_reference = payload.get("reference_benchmark")
+    normalized = {}
+    references = {}
+    for name, entry in benchmarks.items():
+        reference_name = entry.get("reference", default_reference)
+        reference = benchmarks.get(reference_name, {}).get("min_s")
+        if not reference:
+            sys.exit(
+                f"check_bench: {path}: reference benchmark "
+                f"{reference_name!r} (for {name!r}) missing or zero-time"
+            )
+        normalized[name] = entry["min_s"] / reference
+        references[name] = reference_name
+    return normalized, references
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="maximum allowed normalized slowdown vs. baseline (0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="floor for the batch-of-8 vs. 8-serial speedup",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    base_norm, base_refs = normalized_times(baseline, args.baseline)
+    cur_norm, cur_refs = normalized_times(current, args.current)
+
+    failures = []
+
+    speedup = current.get("derived", {}).get(SPEEDUP_KEY)
+    if speedup is None:
+        failures.append(f"current file lacks derived.{SPEEDUP_KEY}")
+    else:
+        status = "ok" if speedup >= args.min_speedup else "FAIL"
+        print(
+            f"{SPEEDUP_KEY}: {speedup:.2f}x "
+            f"(floor {args.min_speedup:.2f}x) [{status}]"
+        )
+        if speedup < args.min_speedup:
+            failures.append(
+                f"batch speedup {speedup:.2f}x below floor "
+                f"{args.min_speedup:.2f}x"
+            )
+
+    print("\nnormalized vs each benchmark's reference (current / baseline):")
+    for name in sorted(cur_norm):
+        if name == cur_refs[name]:
+            continue  # a unit of measurement, not a gated benchmark
+        if name not in base_norm:
+            print(f"  {name}: {cur_norm[name]:8.2f} /    (new)  [ok]")
+            continue
+        if base_refs.get(name) != cur_refs[name]:
+            print(f"  {name}: {cur_norm[name]:8.2f} / (reference changed)  [ok]")
+            continue
+        allowed = base_norm[name] * (1.0 + args.max_regression)
+        regressed = cur_norm[name] > allowed
+        status = "FAIL" if regressed else "ok"
+        print(
+            f"  {name}: {cur_norm[name]:8.2f} / {base_norm[name]:8.2f}"
+            f"  (allowed {allowed:8.2f}) [{status}]"
+        )
+        if regressed:
+            change = 100.0 * (cur_norm[name] / base_norm[name] - 1.0)
+            failures.append(f"{name} regressed {change:.0f}% (normalized)")
+
+    dropped = sorted(set(base_norm) - set(cur_norm))
+    for name in dropped:
+        failures.append(f"benchmark {name} disappeared from the suite")
+
+    if failures:
+        print("\ncheck_bench: FAILED")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ncheck_bench: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
