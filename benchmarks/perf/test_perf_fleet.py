@@ -1,0 +1,44 @@
+"""Perf benchmark for the fleet scheduling layer.
+
+Measures pure dispatch cost — transient verdicts (Kalman + CFAR over the
+monitor window) plus device ranking — for a block of routing decisions,
+with no VQE execution underneath. This bounds the per-job overhead the
+fleet adds on top of the evaluation hot path.
+
+``route_256_jobs`` is its own reference benchmark: it starts the
+dispatch-bound cost family (the existing benchmarks are kernel-bound),
+so it is a unit of measurement for future fleet benchmarks rather than a
+gated entry — ``tools/check_bench.py`` exempts self-referencing
+benchmarks and reports first-appearance benchmarks as "new".
+"""
+
+from __future__ import annotations
+
+from repro.fleet import DeviceFleet, TransientAwareScheduler
+from repro.runtime.spec import RunSpec
+
+ROUTES = 256
+
+
+def test_fleet_route_256(record_benchmark):
+    fleet = DeviceFleet(seed=2023)
+    scheduler = TransientAwareScheduler(fleet)
+    spec = RunSpec(app="App1", scheme="baseline", iterations=10, seed=7)
+
+    def route_block():
+        placed = 0
+        for tick in range(ROUTES):
+            decision = scheduler.route(spec, tick)
+            if decision.placed:
+                placed += 1
+        return placed
+
+    placed = record_benchmark(
+        "route_256_jobs",
+        route_block,
+        rounds=5,
+        reference="route_256_jobs",
+        routes=ROUTES,
+    )
+    # Sanity: the fleet is mostly quiet, so most ticks place immediately.
+    assert placed > ROUTES // 2

@@ -1,0 +1,38 @@
+"""Fig. 13 through the fleet: multi-machine comparison, fleet-scheduled.
+
+Same 6-machine x 2-scheme grid as ``test_fig13_machines``, but submitted
+to the ``repro.fleet`` scheduling service at reduced iteration count: the
+transient-aware scheduler spreads the 12 jobs across the simulated IBMQ
+fleet and reports per-device utilization/deferral telemetry, while every
+per-run number stays bit-identical to the serial build (asserted in
+``tests/test_fleet_service.py``; here we assert the fleet-level shape).
+"""
+
+from bench_helpers import print_table, run_once
+
+from repro.experiments.figures import fig13_fleet
+
+#: Keep the fleet benchmark cheap: the serial fig13 benchmark already
+#: tracks full-scale numbers; this one tracks the scheduling layer.
+ITERATIONS = 40
+
+
+def test_fig13_fleet(benchmark):
+    data = run_once(benchmark, fig13_fleet, seed=17, iterations=ITERATIONS)
+    rows = [
+        (machine, f"{row['improvement']:.3f}x")
+        for machine, row in sorted(data["machines"].items())
+    ]
+    fleet = data["fleet"]
+    rows.append(("GEOMEAN", f"{data['geomean_improvement']:.3f}x"))
+    rows.append(("devices used", fleet["devices_used"]))
+    rows.append(("deferrals", fleet["total_deferrals"]))
+    rows.append(
+        ("throughput", f"{fleet['throughput_jobs_per_tick']:.2f} jobs/tick")
+    )
+    print_table("Fig. 13 (fleet-scheduled): QISMET improvement", rows)
+    assert len(data["machines"]) == 6
+    assert fleet["job_counts"]["done"] == 12
+    assert fleet["job_counts"]["failed"] == 0
+    # The scheduler load-balances 12 jobs across the 7-device fleet.
+    assert fleet["devices_used"] >= 3

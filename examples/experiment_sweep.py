@@ -1,17 +1,26 @@
 """Declarative sweeps: ExperimentPlan + pluggable executors.
 
-Declares one plan over 2 apps x 3 schemes x 2 seeds (12 VQE runs), fans
-it out across CPU cores with ParallelExecutor, then re-runs it through a
-CachedExecutor twice to show that the second pass is served entirely
-from disk (identical numbers, ~zero cost).
+Declares one plan over 2 apps x 3 schemes x 2 seeds (12 VQE runs), runs
+it on the environment-selected executor (``REPRO_EXECUTOR=serial``,
+``parallel`` or ``fleet`` — default parallel here), then re-runs it
+through a CachedExecutor twice to show that the second pass is served
+entirely from disk (identical numbers, ~zero cost).
 
 Run:  python examples/experiment_sweep.py
+      REPRO_EXECUTOR=fleet REPRO_FLEET_DB=fleet.db \
+          python examples/experiment_sweep.py
 """
 
+import os
 import tempfile
 import time
 
-from repro.runtime import CachedExecutor, ExperimentPlan, ParallelExecutor
+from repro.runtime import (
+    CachedExecutor,
+    ExperimentPlan,
+    ParallelExecutor,
+    default_executor,
+)
 
 ITERATIONS = 120
 
@@ -41,11 +50,19 @@ def main() -> None:
           f"({len(PLAN.apps)} apps x {len(PLAN.schemes)} schemes x "
           f"{len(PLAN.seeds)} seeds), id {PLAN.plan_id}")
 
-    print("\n[1] ParallelExecutor (process fan-out)")
+    executor = (
+        default_executor()
+        if os.environ.get("REPRO_EXECUTOR")
+        else ParallelExecutor()
+    )
+    print(f"\n[1] {type(executor).__name__} (environment-selected)")
     start = time.perf_counter()
-    parallel = ParallelExecutor().run_plan(PLAN)
+    first = executor.run_plan(PLAN)
     print(f"  elapsed {time.perf_counter() - start:.1f}s")
-    show(parallel)
+    show(first)
+    close = getattr(executor, "close", None)
+    if close is not None:
+        close()
 
     with tempfile.TemporaryDirectory() as cache_dir:
         print("\n[2] CachedExecutor, cold cache")

@@ -21,6 +21,12 @@ Quickstart::
     vqe = VQE(objective, backend, SPSA(seed=13), controller=QismetController())
     result = vqe.run(300, seed=17)
     print(result.final_machine_energy)
+
+The batched evaluation engine (``BatchedStatevectorSimulator``,
+``EnergyObjective.batch_energies``, ``PopulationVQE``) and the fleet
+scheduling service (``FleetExecutor``, ``FleetService``, ``DeviceFleet``;
+see :mod:`repro.fleet`) are exported here too, so workers and downstream
+users never need to reach into submodules.
 """
 
 __version__ = "1.0.0"
@@ -33,6 +39,7 @@ from repro.backends import (
     TransientBackend,
 )
 from repro.circuits import Parameter, ParameterVector, QuantumCircuit
+from repro.simulator import BatchedStatevectorSimulator, simulate_statevectors
 from repro.core import (
     GradientFaithfulPolicy,
     OnlinePercentileThreshold,
@@ -66,7 +73,8 @@ from repro.runtime import (
     RunSpec,
     SerialExecutor,
 )
-from repro.vqa import EnergyObjective, VQE, VQEResult
+from repro.fleet import DeviceFleet, FleetExecutor, FleetService
+from repro.vqa import EnergyObjective, PopulationVQE, VQE, VQEResult
 
 __all__ = [
     "__version__",
@@ -107,7 +115,13 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "SerialExecutor",
+    "BatchedStatevectorSimulator",
+    "simulate_statevectors",
+    "DeviceFleet",
+    "FleetExecutor",
+    "FleetService",
     "EnergyObjective",
+    "PopulationVQE",
     "VQE",
     "VQEResult",
 ]

@@ -1,0 +1,207 @@
+"""The device fleet: live models of the paper's IBMQ machines.
+
+A :class:`DeviceFleet` instantiates the :mod:`repro.devices.ibmq_fake`
+machines and gives each one a *life over time* on the fleet's shared
+:class:`~repro.fleet.clock.SimulatedClock`:
+
+* a **monitor trace** — the machine's transient-noise series, generated
+  from its per-machine :class:`~repro.noise.transient.trace_generator.
+  TransientProfile` and indexed by the fleet tick. This is the signal the
+  scheduler's Kalman/CFAR estimators consume, the fleet-level analogue of
+  the paper's per-iteration transient estimates;
+* **calibration snapshots** that refresh every ``recalibration_period``
+  ticks (the paper's once-a-day calibration cycles), so routing decisions
+  see calibration drift, not a frozen day-zero snapshot;
+* a **queue depth** counter the scheduler load-balances on.
+
+Transient windows can also be *injected* (:meth:`DeviceFleet.
+inject_transient`) to script fleet behaviour in tests and demos — e.g.
+"Toronto is turbulent for the first 50 ticks".
+
+Everything observable is a pure function of ``(machine, tick)`` given the
+fleet seed, so scheduling behaviour is reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.devices.device import DeviceModel
+from repro.devices.ibmq_fake import available_machines, get_device
+from repro.fleet.clock import SimulatedClock
+from repro.noise.transient.trace import TransientTrace
+from repro.noise.transient.trace_generator import machine_trace
+from repro.utils.rng import derive_seed
+
+#: Length of each device's monitor trace; indexing is cyclic, so this only
+#: bounds how much history is pre-generated, not how long a fleet can run.
+DEFAULT_HORIZON = 4096
+
+#: Ticks between calibration refreshes (the paper's ~daily cycles, scaled
+#: to job-sized ticks).
+DEFAULT_RECALIBRATION_PERIOD = 512
+
+
+@dataclass(frozen=True)
+class InjectedWindow:
+    """A scripted transient window overlaid on a device's monitor trace."""
+
+    start: int
+    length: int
+    magnitude: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.length < 1:
+            raise ValueError("length must be >= 1")
+
+    def overlay(self, tick: int) -> float:
+        if self.start <= tick < self.start + self.length:
+            return self.magnitude
+        return 0.0
+
+
+class FleetDevice:
+    """One machine's live state inside the fleet."""
+
+    def __init__(
+        self,
+        model: DeviceModel,
+        monitor: TransientTrace,
+        seed: int,
+        recalibration_period: int = DEFAULT_RECALIBRATION_PERIOD,
+    ):
+        if recalibration_period < 1:
+            raise ValueError("recalibration_period must be >= 1")
+        self.name = model.name
+        self.monitor = monitor
+        self.seed = seed
+        self.recalibration_period = recalibration_period
+        self.windows: List[InjectedWindow] = []
+        self._model = model
+        self._model_cycle = 0
+        self._depth = 0
+        self._lock = threading.Lock()
+
+    # -- transient observation ----------------------------------------------
+
+    def observed(self, tick: int) -> float:
+        """|transient magnitude| the fleet monitor reads at ``tick``."""
+        value = abs(self.monitor[tick])
+        for window in self.windows:
+            value += abs(window.overlay(tick))
+        return value
+
+    def observed_window(self, tick: int, width: int) -> np.ndarray:
+        """The monitor series over ``[max(0, tick-width+1), tick]``."""
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        start = max(0, tick - width + 1)
+        return np.array([self.observed(t) for t in range(start, tick + 1)])
+
+    def inject(self, window: InjectedWindow) -> None:
+        self.windows.append(window)
+
+    # -- calibration over time ----------------------------------------------
+
+    def model_at(self, tick: int) -> DeviceModel:
+        """The device model under the calibration snapshot current at
+        ``tick`` (refreshing through any elapsed cycles)."""
+        cycle = tick // self.recalibration_period
+        with self._lock:
+            while self._model_cycle < cycle:
+                self._model_cycle += 1
+                self._model = self._model.recalibrate(
+                    derive_seed(
+                        self.seed, f"fleet:recal:{self.name}:{self._model_cycle}"
+                    )
+                )
+            return self._model
+
+    # -- queue depth --------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def reserve(self) -> int:
+        with self._lock:
+            self._depth += 1
+            return self._depth
+
+    def release(self) -> int:
+        with self._lock:
+            if self._depth <= 0:
+                raise RuntimeError(f"release() without reserve() on {self.name}")
+            self._depth -= 1
+            return self._depth
+
+    def __repr__(self) -> str:
+        return f"FleetDevice({self.name!r}, depth={self.depth})"
+
+
+class DeviceFleet:
+    """All fleet machines plus the shared clock they live on."""
+
+    def __init__(
+        self,
+        machines: Optional[Sequence[str]] = None,
+        seed: int = 2023,
+        horizon: int = DEFAULT_HORIZON,
+        recalibration_period: int = DEFAULT_RECALIBRATION_PERIOD,
+        clock: Optional[SimulatedClock] = None,
+    ):
+        names = [m.lower() for m in (machines or available_machines())]
+        if not names:
+            raise ValueError("fleet needs at least one machine")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate machines in {names}")
+        self.seed = seed
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.devices: Dict[str, FleetDevice] = {}
+        for name in sorted(names):
+            model = get_device(name, calibration_seed=seed)
+            monitor = machine_trace(
+                name,
+                horizon,
+                derive_seed(seed, f"fleet:monitor:{name}"),
+                trial="fleet",
+            )
+            self.devices[name] = FleetDevice(
+                model,
+                monitor,
+                seed=seed,
+                recalibration_period=recalibration_period,
+            )
+
+    def device(self, name: str) -> FleetDevice:
+        key = name.lower()
+        if key not in self.devices:
+            raise KeyError(
+                f"machine {name!r} not in fleet; have: {sorted(self.devices)}"
+            )
+        return self.devices[key]
+
+    def names(self) -> List[str]:
+        return sorted(self.devices)
+
+    def inject_transient(
+        self, machine: str, start: int, length: int, magnitude: float = 1.0
+    ) -> None:
+        """Script a transient window onto one machine's monitor trace."""
+        self.device(machine).inject(InjectedWindow(start, length, magnitude))
+
+    def __iter__(self) -> Iterator[FleetDevice]:
+        return iter(self.devices[name] for name in self.names())
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __repr__(self) -> str:
+        return f"DeviceFleet({self.names()}, t={self.clock.now()})"

@@ -1,0 +1,205 @@
+"""Transient-aware job routing (the fleet-level QISMET analogue).
+
+For each device the scheduler maintains a transient verdict built from
+the device's monitored noise series, reusing the repo's two estimation
+tools:
+
+* a **CFAR detector** (:func:`repro.filtering.cfar.cfar_detect`) over the
+  recent monitor window — flags the current tick when it spikes above the
+  local noise floor (a transient is *in progress*);
+* a **1-D Kalman filter** (:class:`repro.filtering.kalman.KalmanFilter1D`)
+  over the same window — its one-step prediction flags ticks whose
+  *expected* noise magnitude exceeds an absolute level (a transient
+  window is *predicted*), which also catches the window edges where CFAR
+  has no training cells yet.
+
+Routing policy (paper Section 5 transplanted to the fleet):
+
+1. rank devices by ``(queue depth, affinity, calibration quality, name)``
+   — load balance first, prefer the machine the spec's application was
+   profiled on, break remaining ties on the *current* calibration
+   snapshot's two-qubit error (so calibration drift genuinely moves
+   routing);
+2. walk the ranking and place the job on the first device **not** inside
+   a transient window; every better-ranked device skipped this way is
+   recorded as a deferral against that device (QISMET-style "wait out the
+   transient" — the job's work is deferred away from the machine);
+3. if *every* device is inside a window the job is deferred fleet-wide:
+   the caller advances the simulated clock and retries, up to
+   ``defer_budget`` attempts, after which the job is force-placed on the
+   least-loaded device (the paper's skip-budget escape hatch, which keeps
+   a globally turbulent fleet from starving).
+
+Verdicts are pure functions of ``(device, tick)``, so routing is
+reproducible given the fleet seed and a job arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.filtering.cfar import cfar_detect
+from repro.filtering.kalman import KalmanFilter1D
+from repro.fleet.registry import DeviceFleet, FleetDevice
+from repro.runtime.spec import RunSpec, resolve_app
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tuning knobs for transient detection and deferral."""
+
+    #: Monitor-window length fed to CFAR/Kalman per verdict.
+    window: int = 32
+    #: CFAR shape (per side) and alarm factor over the local noise floor.
+    cfar_train_cells: int = 8
+    cfar_guard_cells: int = 2
+    cfar_alarm_factor: float = 4.0
+    #: Kalman filter constants for the predicted-magnitude check.
+    kalman_transition: float = 1.0
+    kalman_measurement_variance: float = 0.05
+    kalman_process_variance: float = 1e-3
+    #: Absolute predicted-|transient| level above which a device defers.
+    #: Quiet-baseline magnitudes sit near 0.01; spikes at 0.45-0.70
+    #: (see repro.noise.transient.trace_generator.MACHINE_PROFILES).
+    transient_level: float = 0.15
+    #: Fleet-wide deferrals allowed per job before force placement.
+    defer_budget: int = 8
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.defer_budget < 0:
+            raise ValueError("defer_budget must be >= 0")
+        if self.transient_level <= 0:
+            raise ValueError("transient_level must be positive")
+
+
+@dataclass(frozen=True)
+class TransientVerdict:
+    """Why a device is (or is not) considered inside a transient window."""
+
+    device: str
+    tick: int
+    observed: float
+    predicted: float
+    cfar_flag: bool
+
+    @property
+    def flagged(self) -> bool:
+        return self.cfar_flag or self.predicted_flag
+
+    @property
+    def predicted_flag(self) -> bool:
+        return self.predicted > 0.0
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Outcome of routing one job at one tick."""
+
+    device: Optional[FleetDevice]
+    deferred_from: Tuple[TransientVerdict, ...] = ()
+    forced: bool = False
+
+    @property
+    def placed(self) -> bool:
+        return self.device is not None
+
+
+class TransientAwareScheduler:
+    """Routes jobs across a :class:`DeviceFleet` by live transient state."""
+
+    def __init__(
+        self, fleet: DeviceFleet, config: Optional[SchedulerConfig] = None
+    ):
+        self.fleet = fleet
+        self.config = config or SchedulerConfig()
+
+    # -- transient detection -------------------------------------------------
+
+    def verdict(self, device: FleetDevice, tick: int) -> TransientVerdict:
+        """Transient verdict for ``device`` at ``tick`` (pure function)."""
+        config = self.config
+        window = device.observed_window(tick, config.window)
+        cfar_flag = False
+        if window.size > 1:
+            mask = cfar_detect(
+                window,
+                train_cells=config.cfar_train_cells,
+                guard_cells=config.cfar_guard_cells,
+                alarm_factor=config.cfar_alarm_factor,
+            )
+            cfar_flag = bool(mask[-1])
+        kalman = KalmanFilter1D(
+            transition=config.kalman_transition,
+            measurement_variance=config.kalman_measurement_variance,
+            process_variance=config.kalman_process_variance,
+        )
+        estimate = float(kalman.filter_series(window)[-1])
+        predicted = config.kalman_transition * estimate
+        return TransientVerdict(
+            device=device.name,
+            tick=tick,
+            observed=float(window[-1]),
+            predicted=(
+                predicted if predicted > config.transient_level else 0.0
+            ),
+            cfar_flag=cfar_flag,
+        )
+
+    def in_transient_window(self, device: FleetDevice, tick: int) -> bool:
+        return self.verdict(device, tick).flagged
+
+    # -- routing -------------------------------------------------------------
+
+    def _ranked(self, spec: RunSpec, tick: int) -> List[FleetDevice]:
+        affinity = resolve_app(spec.app).machine.lower()
+
+        def key(device: FleetDevice):
+            quality = (
+                device.model_at(tick).calibration.mean_two_qubit_error()
+            )
+            return (
+                device.depth,
+                0 if device.name == affinity else 1,
+                round(float(quality), 9),
+                device.name,
+            )
+
+        return sorted(self.fleet, key=key)
+
+    def route(
+        self,
+        spec: RunSpec,
+        tick: int,
+        exclude: Sequence[str] = (),
+        force: bool = False,
+    ) -> RoutingDecision:
+        """Choose a device for ``spec`` at ``tick``.
+
+        ``force=True`` skips the transient check (budget exhausted) and
+        places on the best-ranked device outright. ``exclude`` removes
+        devices from consideration (e.g. the device a worker just
+        deferred the job away from).
+        """
+        excluded = {name.lower() for name in exclude}
+        candidates = [
+            device
+            for device in self._ranked(spec, tick)
+            if device.name not in excluded
+        ]
+        if not candidates:
+            candidates = self._ranked(spec, tick)  # never dead-end on exclude
+        if force:
+            return RoutingDecision(device=candidates[0], forced=True)
+        skipped: List[TransientVerdict] = []
+        for device in candidates:
+            verdict = self.verdict(device, tick)
+            if verdict.flagged:
+                skipped.append(verdict)
+                continue
+            return RoutingDecision(
+                device=device, deferred_from=tuple(skipped)
+            )
+        return RoutingDecision(device=None, deferred_from=tuple(skipped))

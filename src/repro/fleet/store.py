@@ -1,0 +1,376 @@
+"""Persistent job store (stdlib SQLite) keyed by ``RunSpec`` content hash.
+
+Jobs move through ``queued -> running -> done | failed``; a failed job is
+re-queued on resubmission, a done job is a **dedupe hit** — resubmitting
+the same spec returns the stored result without re-executing anything
+(the spec's seed-determinism guarantees the stored payload is exactly
+what a fresh run would produce).
+
+Result payloads are serialized through :mod:`repro.runtime.results`, so
+anything the executor cache can persist, the job store can too. All
+timestamps are fleet-clock ticks, keeping the store's contents
+reproducible run-over-run.
+
+One connection serves all worker threads, guarded by a lock
+(``check_same_thread=False``); SQLite serializes writes anyway, and the
+fleet's write rate is one row per job transition.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.runtime.results import RunResult
+from repro.runtime.spec import RunSpec
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+STATUSES = (QUEUED, RUNNING, DONE, FAILED)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    run_id      TEXT PRIMARY KEY,
+    spec        TEXT NOT NULL,
+    status      TEXT NOT NULL,
+    device      TEXT,
+    defers      INTEGER NOT NULL DEFAULT 0,
+    error       TEXT,
+    result      TEXT,
+    submitted_tick INTEGER NOT NULL DEFAULT 0,
+    started_tick   INTEGER,
+    finished_tick  INTEGER
+);
+CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status);
+CREATE TABLE IF NOT EXISTS telemetry (
+    device      TEXT PRIMARY KEY,
+    scheduled   INTEGER NOT NULL DEFAULT 0,
+    completed   INTEGER NOT NULL DEFAULT 0,
+    failed      INTEGER NOT NULL DEFAULT 0,
+    deferred    INTEGER NOT NULL DEFAULT 0,
+    cache_hits  INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+@dataclass
+class JobRecord:
+    """One row of the job table, spec-decoded."""
+
+    run_id: str
+    spec: RunSpec
+    status: str
+    device: Optional[str] = None
+    defers: int = 0
+    error: Optional[str] = None
+    submitted_tick: int = 0
+    started_tick: Optional[int] = None
+    finished_tick: Optional[int] = None
+
+    @property
+    def is_done(self) -> bool:
+        return self.status == DONE
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "spec": self.spec.to_dict(),
+            "status": self.status,
+            "device": self.device,
+            "defers": self.defers,
+            "error": self.error,
+            "submitted_tick": self.submitted_tick,
+            "started_tick": self.started_tick,
+            "finished_tick": self.finished_tick,
+        }
+
+
+class JobStore:
+    """SQLite-backed job table + telemetry rollup.
+
+    ``path=":memory:"`` gives an ephemeral per-service store; a file path
+    makes jobs (and their results) survive across processes, which is what
+    lets a resubmitted plan dedupe against last week's run.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:"):
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- job transitions ----------------------------------------------------
+
+    def enqueue(self, spec: RunSpec, tick: int = 0) -> JobRecord:
+        """Submit a spec; returns the (possibly pre-existing) record.
+
+        * unknown spec — inserted as ``queued``;
+        * ``done`` — returned as-is (dedupe hit; nothing re-executes);
+        * ``failed`` — re-queued with the error cleared;
+        * ``queued``/``running`` — returned as-is (attach to in-flight job).
+        """
+        with self._lock:
+            existing = self._fetch_locked(spec.run_id)
+            if existing is None:
+                self._conn.execute(
+                    "INSERT INTO jobs (run_id, spec, status, submitted_tick)"
+                    " VALUES (?, ?, ?, ?)",
+                    (spec.run_id, json.dumps(spec.to_dict()), QUEUED, tick),
+                )
+                self._conn.commit()
+                return JobRecord(spec.run_id, spec, QUEUED, submitted_tick=tick)
+            if existing.status == FAILED:
+                self._conn.execute(
+                    "UPDATE jobs SET status=?, error=NULL, device=NULL,"
+                    " defers=0, started_tick=NULL, finished_tick=NULL,"
+                    " submitted_tick=? WHERE run_id=?",
+                    (QUEUED, tick, spec.run_id),
+                )
+                self._conn.commit()
+                return self._fetch_locked(spec.run_id)
+            return existing
+
+    def mark_running(self, run_id: str, device: str, tick: int) -> None:
+        self._transition(
+            run_id,
+            RUNNING,
+            allowed=(QUEUED, RUNNING),
+            extra="device=?, started_tick=?",
+            params=(device, tick),
+        )
+
+    def mark_done(self, run_id: str, result: RunResult, tick: int) -> None:
+        with self._lock:
+            self._transition(
+                run_id,
+                DONE,
+                allowed=(RUNNING, QUEUED),
+                extra="result=?, finished_tick=?",
+                params=(json.dumps(result.to_dict()), tick),
+            )
+
+    def mark_failed(self, run_id: str, error: str, tick: int) -> None:
+        self._transition(
+            run_id,
+            FAILED,
+            allowed=(RUNNING, QUEUED),
+            extra="error=?, finished_tick=?",
+            params=(str(error)[:2000], tick),
+        )
+
+    def record_defer(self, run_id: str, count: int = 1) -> None:
+        """Count ``count`` deferrals against a job (job stays queued).
+
+        Per-device/tick attribution lives in the telemetry layer; the
+        store keeps only the per-job total so ``status`` output and the
+        in-memory ``FleetJob.defers`` budget agree.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET defers = defers + ? WHERE run_id=?",
+                (count, run_id),
+            )
+            self._conn.commit()
+
+    def _transition(
+        self, run_id: str, status: str, allowed, extra: str, params
+    ) -> None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT status FROM jobs WHERE run_id=?", (run_id,)
+            ).fetchone()
+            if row is None:
+                raise KeyError(f"unknown job {run_id!r}")
+            if row["status"] not in allowed:
+                raise ValueError(
+                    f"job {run_id}: cannot move {row['status']} -> {status}"
+                )
+            self._conn.execute(
+                f"UPDATE jobs SET status=?, {extra} WHERE run_id=?",
+                (status, *params, run_id),
+            )
+            self._conn.commit()
+
+    def requeue_running(self) -> int:
+        """Crash recovery: put any ``running`` jobs back in the queue."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET status=?, device=NULL, started_tick=NULL"
+                " WHERE status=?",
+                (QUEUED, RUNNING),
+            )
+            self._conn.commit()
+            return cursor.rowcount
+
+    # -- queries ------------------------------------------------------------
+
+    def _fetch_locked(self, run_id: str) -> Optional[JobRecord]:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE run_id=?", (run_id,)
+        ).fetchone()
+        return _record_from_row(row) if row is not None else None
+
+    def fetch(self, run_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._fetch_locked(run_id)
+
+    def result(self, run_id: str) -> Optional[RunResult]:
+        """The stored ``RunResult`` of a done job (else ``None``)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT result FROM jobs WHERE run_id=? AND status=?",
+                (run_id, DONE),
+            ).fetchone()
+        if row is None or row["result"] is None:
+            return None
+        return RunResult.from_dict(json.loads(row["result"]))
+
+    def jobs(self, status: Optional[str] = None) -> List[JobRecord]:
+        if status is not None and status not in STATUSES:
+            raise ValueError(f"unknown status {status!r}; known: {STATUSES}")
+        with self._lock:
+            if status is None:
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs ORDER BY submitted_tick, run_id"
+                ).fetchall()
+            else:
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs WHERE status=?"
+                    " ORDER BY submitted_tick, run_id",
+                    (status,),
+                ).fetchall()
+        return [_record_from_row(row) for row in rows]
+
+    def run_ids(self, status: Optional[str] = None) -> List[str]:
+        """Run ids (optionally filtered by status), without spec decoding."""
+        if status is not None and status not in STATUSES:
+            raise ValueError(f"unknown status {status!r}; known: {STATUSES}")
+        with self._lock:
+            if status is None:
+                rows = self._conn.execute(
+                    "SELECT run_id FROM jobs ORDER BY submitted_tick, run_id"
+                ).fetchall()
+            else:
+                rows = self._conn.execute(
+                    "SELECT run_id FROM jobs WHERE status=?"
+                    " ORDER BY submitted_tick, run_id",
+                    (status,),
+                ).fetchall()
+        return [row["run_id"] for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
+            ).fetchall()
+        counts = {status: 0 for status in STATUSES}
+        counts.update({row["status"]: row["n"] for row in rows})
+        return counts
+
+    # -- telemetry rollup ---------------------------------------------------
+
+    def accumulate_telemetry(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`FleetTelemetry.snapshot` into the persistent
+        rollup (counters add across service lifetimes)."""
+        with self._lock:
+            for device, counters in snapshot.get("devices", {}).items():
+                self._conn.execute(
+                    "INSERT INTO telemetry"
+                    " (device, scheduled, completed, failed, deferred,"
+                    "  cache_hits)"
+                    " VALUES (?, ?, ?, ?, ?, ?)"
+                    " ON CONFLICT(device) DO UPDATE SET"
+                    "  scheduled = scheduled + excluded.scheduled,"
+                    "  completed = completed + excluded.completed,"
+                    "  failed = failed + excluded.failed,"
+                    "  deferred = deferred + excluded.deferred,"
+                    "  cache_hits = cache_hits + excluded.cache_hits",
+                    (
+                        device,
+                        counters.get("scheduled", 0),
+                        counters.get("completed", 0),
+                        counters.get("failed", 0),
+                        counters.get("deferred", 0),
+                        counters.get("cache_hits", 0),
+                    ),
+                )
+            ticks = int(self._meta_locked("ticks", "0"))
+            span = snapshot.get("ticks_elapsed", 0)
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('ticks', ?)"
+                " ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                (str(ticks + int(span)),),
+            )
+            self._conn.commit()
+
+    def telemetry(self) -> Dict[str, Any]:
+        """The accumulated per-device rollup (plus total ticks)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM telemetry ORDER BY device"
+            ).fetchall()
+            ticks = int(self._meta_locked("ticks", "0"))
+        return {
+            "devices": {
+                row["device"]: {
+                    "scheduled": row["scheduled"],
+                    "completed": row["completed"],
+                    "failed": row["failed"],
+                    "deferred": row["deferred"],
+                    "cache_hits": row["cache_hits"],
+                }
+                for row in rows
+            },
+            "ticks": ticks,
+        }
+
+    def _meta_locked(self, key: str, default: str) -> str:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key=?", (key,)
+        ).fetchone()
+        return row["value"] if row is not None else default
+
+
+def _record_from_row(row: sqlite3.Row) -> JobRecord:
+    return JobRecord(
+        run_id=row["run_id"],
+        spec=RunSpec.from_dict(json.loads(row["spec"])),
+        status=row["status"],
+        device=row["device"],
+        defers=row["defers"],
+        error=row["error"],
+        submitted_tick=row["submitted_tick"],
+        started_tick=row["started_tick"],
+        finished_tick=row["finished_tick"],
+    )

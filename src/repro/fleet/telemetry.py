@@ -1,0 +1,172 @@
+"""Fleet telemetry: per-device utilization, deferral and throughput counters.
+
+One :class:`FleetTelemetry` instance is shared by the scheduler, the
+worker pool and the service; every mutation is a single counter bump under
+one lock, so reading a consistent snapshot is cheap. Counters deliberately
+mirror the paper's accept/retry/defer vocabulary: a *deferral* is the
+fleet-level analogue of QISMET deferring an iteration while a transient
+passes — here a whole job is routed away from (or held off) a device whose
+monitored noise is inside a predicted transient window.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Pseudo-device name for events not attributable to a single machine
+#: (e.g. a job deferred because *every* device was inside a transient
+#: window).
+FLEET_WIDE = "(fleet)"
+
+
+@dataclass
+class DeviceCounters:
+    """Per-device lifetime counters."""
+
+    scheduled: int = 0
+    completed: int = 0
+    failed: int = 0
+    deferred: int = 0
+    cache_hits: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "scheduled": self.scheduled,
+            "completed": self.completed,
+            "failed": self.failed,
+            "deferred": self.deferred,
+            "cache_hits": self.cache_hits,
+        }
+
+
+@dataclass
+class TelemetryEvent:
+    """One scheduling decision, for post-mortem inspection."""
+
+    tick: int
+    kind: str  # scheduled | completed | failed | deferred | cache-hit
+    device: str
+    run_id: str
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tick": self.tick,
+            "kind": self.kind,
+            "device": self.device,
+            "run_id": self.run_id,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FleetTelemetry:
+    """Thread-safe counters + event log for one fleet service."""
+
+    max_events: int = 4096
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    devices: Dict[str, DeviceCounters] = field(default_factory=dict)
+    events: List[TelemetryEvent] = field(default_factory=list)
+    first_tick: Optional[int] = None
+    last_tick: int = 0
+
+    _COUNTER_FOR_KIND = {
+        "scheduled": "scheduled",
+        "completed": "completed",
+        "failed": "failed",
+        "deferred": "deferred",
+        "cache-hit": "cache_hits",
+    }
+
+    def _record(
+        self, tick: int, kind: str, device: str, run_id: str, detail: str = ""
+    ) -> None:
+        attr = self._COUNTER_FOR_KIND[kind]
+        with self._lock:
+            counters = self.devices.setdefault(device, DeviceCounters())
+            setattr(counters, attr, getattr(counters, attr) + 1)
+            if self.first_tick is None:
+                self.first_tick = tick
+            self.last_tick = max(self.last_tick, tick)
+            if len(self.events) < self.max_events:
+                self.events.append(
+                    TelemetryEvent(tick, kind, device, run_id, detail)
+                )
+
+    # -- recording ----------------------------------------------------------
+
+    def record_scheduled(self, device: str, run_id: str, tick: int) -> None:
+        self._record(tick, "scheduled", device, run_id)
+
+    def record_completed(self, device: str, run_id: str, tick: int) -> None:
+        self._record(tick, "completed", device, run_id)
+
+    def record_failed(
+        self, device: str, run_id: str, tick: int, detail: str = ""
+    ) -> None:
+        self._record(tick, "failed", device, run_id, detail)
+
+    def record_deferred(
+        self, device: str, run_id: str, tick: int, detail: str = ""
+    ) -> None:
+        self._record(tick, "deferred", device, run_id, detail)
+
+    def record_cache_hit(self, run_id: str, tick: int) -> None:
+        self._record(tick, "cache-hit", FLEET_WIDE, run_id)
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def devices_used(self) -> int:
+        """Number of real devices that completed at least one job."""
+        with self._lock:
+            return sum(
+                1
+                for name, counters in self.devices.items()
+                if name != FLEET_WIDE and counters.completed > 0
+            )
+
+    @property
+    def total_deferrals(self) -> int:
+        with self._lock:
+            return sum(c.deferred for c in self.devices.values())
+
+    @property
+    def total_completed(self) -> int:
+        with self._lock:
+            return sum(
+                c.completed
+                for name, c in self.devices.items()
+                if name != FLEET_WIDE
+            )
+
+    def throughput(self) -> float:
+        """Completed jobs per simulated tick over the observed span."""
+        with self._lock:
+            completed = sum(
+                c.completed
+                for name, c in self.devices.items()
+                if name != FLEET_WIDE
+            )
+            if self.first_tick is None:
+                return 0.0
+            span = max(1, self.last_tick - self.first_tick + 1)
+            return completed / span
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able view of everything (counters + derived rates)."""
+        with self._lock:
+            per_device = {
+                name: counters.to_dict()
+                for name, counters in sorted(self.devices.items())
+            }
+        return {
+            "devices": per_device,
+            "devices_used": self.devices_used,
+            "total_deferrals": self.total_deferrals,
+            "total_completed": self.total_completed,
+            "throughput_jobs_per_tick": self.throughput(),
+            "events": [event.to_dict() for event in self.events],
+        }

@@ -13,10 +13,15 @@ time only, never results.
 * :class:`CachedExecutor` — wraps another executor with a disk cache
   keyed by each spec's content-hash ``run_id``, so repeated figure
   builds only pay for specs they have never seen.
+* ``repro.fleet.FleetExecutor`` (selected via ``REPRO_EXECUTOR=fleet``)
+  — schedules runs across the simulated IBMQ device fleet with
+  transient-aware routing and a persistent job store
+  (``REPRO_FLEET_DB``); results remain bit-identical.
 
 :func:`default_executor` picks an executor from the environment
-(``REPRO_EXECUTOR``, ``REPRO_JOBS``, ``REPRO_CACHE_DIR``) so existing
-entry points gain parallelism and caching without signature changes.
+(``REPRO_EXECUTOR``, ``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
+``REPRO_FLEET_DB``) so existing entry points gain parallelism, caching
+and fleet scheduling without signature changes.
 """
 
 from __future__ import annotations
@@ -148,8 +153,10 @@ def default_executor(
     """Build an executor from the environment.
 
     ``REPRO_EXECUTOR=parallel`` selects the process-pool executor
-    (``REPRO_JOBS`` caps its workers); anything else — including unset —
-    is serial. ``REPRO_CACHE_DIR`` (or the ``cache_dir`` argument, which
+    (``REPRO_JOBS`` caps its workers); ``REPRO_EXECUTOR=fleet`` selects
+    the transient-aware device-fleet executor (``REPRO_FLEET_DB`` names
+    its persistent job store); anything else — including unset — is
+    serial. ``REPRO_CACHE_DIR`` (or the ``cache_dir`` argument, which
     wins) wraps the executor in a disk cache.
     """
     kind = os.environ.get("REPRO_EXECUTOR", "serial").strip().lower()
@@ -158,11 +165,17 @@ def default_executor(
         inner: BaseExecutor = ParallelExecutor(
             max_workers=int(jobs) if jobs else None
         )
+    elif kind == "fleet":
+        # Local import: repro.fleet builds on this module.
+        from repro.fleet.executor import fleet_executor_from_env
+
+        inner = fleet_executor_from_env()
     elif kind in ("", "serial"):
         inner = SerialExecutor()
     else:
         raise ValueError(
-            f"unknown REPRO_EXECUTOR {kind!r}; use 'serial' or 'parallel'"
+            f"unknown REPRO_EXECUTOR {kind!r}; "
+            "use 'serial', 'parallel' or 'fleet'"
         )
     cache = cache_dir or os.environ.get("REPRO_CACHE_DIR", "").strip()
     if cache:

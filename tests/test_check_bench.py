@@ -1,0 +1,99 @@
+"""The perf CI gate tolerates suite growth (tools/check_bench.py).
+
+New benchmarks must be reported as "new" and skipped — not crash the
+comparison or silently gate — so a PR that *adds* benchmarks stays green
+against the previous baseline.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" / "check_bench.py"
+_spec = importlib.util.spec_from_file_location("check_bench", _TOOL)
+check_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench)
+
+
+def _payload(benchmarks, speedup=5.0):
+    return {
+        "schema": 1,
+        "reference_benchmark": "ref",
+        "benchmarks": benchmarks,
+        "derived": {check_bench.SPEEDUP_KEY: speedup},
+    }
+
+
+def _bench(min_s, reference=None):
+    entry = {"min_s": min_s}
+    if reference is not None:
+        entry["reference"] = reference
+    return entry
+
+
+BASE = {"ref": _bench(1.0, "ref"), "a": _bench(2.0, "ref")}
+
+
+def _run(tmp_path, baseline, current, *extra):
+    base_path = tmp_path / "base.json"
+    cur_path = tmp_path / "cur.json"
+    base_path.write_text(json.dumps(baseline))
+    cur_path.write_text(json.dumps(current))
+    return check_bench.main(
+        ["--baseline", str(base_path), "--current", str(cur_path), *extra]
+    )
+
+
+def test_identical_files_pass(tmp_path, capsys):
+    assert _run(tmp_path, _payload(BASE), _payload(BASE)) == 0
+    assert "check_bench: ok" in capsys.readouterr().out
+
+
+def test_new_benchmark_reported_and_skipped(tmp_path, capsys):
+    current = dict(BASE, new_bench=_bench(5.0, "ref"))
+    assert _run(tmp_path, _payload(BASE), _payload(current)) == 0
+    out = capsys.readouterr().out
+    assert "new_bench" in out and "(new)" in out
+
+
+def test_new_self_referencing_benchmark_not_gated(tmp_path, capsys):
+    # A new cost-family unit (its own reference) must neither gate nor
+    # crash — the fleet perf benchmark takes this shape.
+    current = dict(BASE, fleet_unit=_bench(9.9, "fleet_unit"))
+    assert _run(tmp_path, _payload(BASE), _payload(current)) == 0
+
+
+def test_new_benchmark_with_dangling_reference_skipped(tmp_path, capsys):
+    current = dict(BASE, broken=_bench(1.0, "missing-ref"))
+    assert _run(tmp_path, _payload(BASE), _payload(current)) == 0
+    out = capsys.readouterr().out
+    assert "skipping" in out and "broken" in out
+
+
+def test_regression_still_fails(tmp_path, capsys):
+    current = dict(BASE, a=_bench(4.0, "ref"))  # 2.0 -> 4.0 normalized
+    assert _run(tmp_path, _payload(BASE), _payload(current)) == 1
+    assert "regressed" in capsys.readouterr().out
+
+
+def test_dropped_benchmark_still_fails(tmp_path, capsys):
+    current = {"ref": _bench(1.0, "ref")}
+    assert _run(tmp_path, _payload(BASE), _payload(current)) == 1
+    assert "disappeared" in capsys.readouterr().out
+
+
+def test_speedup_floor_still_gates(tmp_path, capsys):
+    assert _run(tmp_path, _payload(BASE), _payload(BASE, speedup=1.5)) == 1
+    assert "below floor" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("slack", ["0.25", "5.0"])
+def test_max_regression_flag(tmp_path, slack):
+    current = dict(BASE, a=_bench(3.0, "ref"))  # +50% normalized
+    expected = 1 if slack == "0.25" else 0
+    result = _run(
+        tmp_path, _payload(BASE), _payload(current), "--max-regression", slack
+    )
+    assert result == expected

@@ -25,6 +25,7 @@ def test_examples_exist():
         "scheme_comparison",
         "device_transient_analysis",
         "experiment_sweep",
+        "fleet_demo",
     ):
         assert (EXAMPLES / f"{name}.py").exists()
 
@@ -51,6 +52,26 @@ def test_scheme_comparison_plan_small(tmp_path):
     outcome = executor.run_plan(plan)
     assert set(outcome.comparison("App2").results) == {"baseline", "qismet"}
     assert executor.misses == 2
+
+
+def test_fleet_demo_plan_and_reduced_run(tmp_path):
+    demo = _load("fleet_demo")
+    assert len(demo.PLAN) == 12
+    # the demo's moves, at reduced scale: inject a window, run, resubmit
+    from repro.fleet import FleetExecutor
+    from repro.runtime import ExperimentPlan
+
+    plan = ExperimentPlan.single(
+        "App1", ("baseline",), 4, seed=7, name="fleet-demo-smoke"
+    )
+    db = tmp_path / "fleet.db"
+    with FleetExecutor(db_path=db) as executor:
+        executor.fleet.inject_transient("toronto", 0, 100, magnitude=0.8)
+        executor.run_plan(plan)
+        assert executor.telemetry.snapshot()["devices"]["toronto"]["deferred"] >= 1
+    with FleetExecutor(db_path=db) as executor:
+        again = executor.run_plan(plan)
+        assert executor.hits == 1 and all(r.from_cache for r in again)
 
 
 def test_quickstart_builders():

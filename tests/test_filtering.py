@@ -93,6 +93,56 @@ def test_cfar_guard_cells_protect_wide_spikes():
     assert with_guard.sum() >= no_guard.sum()
 
 
+def test_cfar_constant_trace_no_alarms():
+    # A constant series has cell == noise floor everywhere: no cell can
+    # exceed alarm_factor * floor, whatever the factor.
+    for level in (0.0, 0.1, 5.0):
+        mask = cfar_detect(np.full(50, level), alarm_factor=1.5)
+        assert not mask.any()
+
+
+def test_cfar_trace_shorter_than_training_window():
+    # 3 cells against train_cells=8 per side: training windows clamp to
+    # whatever exists instead of reading out of bounds.
+    series = np.array([0.1, 5.0, 0.1])
+    mask = cfar_detect(series, train_cells=8, guard_cells=0, alarm_factor=3.0)
+    assert mask[1]
+    assert not mask[0] and not mask[2]
+
+
+def test_cfar_single_element_trace():
+    # One cell has no training cells at all: never an alarm, never a crash.
+    assert not cfar_detect([7.0], train_cells=8).any()
+
+
+def test_cfar_guard_cells_consume_short_trace():
+    # Guard cells can swallow the whole series: empty training -> no alarm.
+    series = np.array([0.1, 9.0, 0.1])
+    mask = cfar_detect(series, train_cells=2, guard_cells=4, alarm_factor=2.0)
+    assert not mask.any()
+
+
+def test_cfar_all_transient_trace_no_alarms():
+    # An entirely turbulent series raises the estimated noise floor with
+    # it; CFAR is a *contrast* detector, so a wall of transients yields no
+    # alarms (exactly why the scheduler also keeps an absolute Kalman
+    # check; see repro.fleet.scheduler).
+    rng = np.random.default_rng(7)
+    series = 5.0 + 0.1 * rng.standard_normal(80)
+    mask = cfar_detect(series, alarm_factor=1.5)
+    assert not mask.any()
+
+
+def test_cfar_boundary_spikes_detected():
+    # Spikes in the first/last cell only have one-sided training windows
+    # but are still detected.
+    series = np.ones(30) * 0.1
+    series[0] = 4.0
+    series[-1] = 4.0
+    mask = cfar_detect(series, train_cells=6, guard_cells=1, alarm_factor=3.0)
+    assert mask[0] and mask[-1]
+
+
 def test_cfar_validation():
     with pytest.raises(ValueError):
         cfar_detect([1.0], train_cells=0)

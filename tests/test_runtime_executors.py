@@ -168,6 +168,31 @@ def test_default_executor_env_selection(monkeypatch, tmp_path):
         default_executor()
 
 
+def test_default_executor_fleet_selection(monkeypatch, tmp_path):
+    from repro.fleet import FleetExecutor
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.setenv("REPRO_EXECUTOR", "fleet")
+    monkeypatch.setenv("REPRO_FLEET_DB", str(tmp_path / "fleet.db"))
+    monkeypatch.setenv("REPRO_FLEET_MACHINES", "toronto,guadalupe")
+    executor = default_executor()
+    try:
+        assert isinstance(executor, FleetExecutor)
+        assert executor.store.path == str(tmp_path / "fleet.db")
+        assert executor.fleet.names() == ["guadalupe", "toronto"]
+    finally:
+        executor.close()
+
+    # REPRO_CACHE_DIR composes: disk cache in front of the fleet.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cached = default_executor()
+    try:
+        assert isinstance(cached, CachedExecutor)
+        assert isinstance(cached.inner, FleetExecutor)
+    finally:
+        cached.inner.close()
+
+
 def test_run_comparison_shim_accepts_executor(tmp_path):
     from repro.experiments import get_app, run_comparison
 

@@ -15,6 +15,13 @@ so two machine-independent checks gate the build:
    it is a unit of measurement; one whose reference changed between
    baseline and current is reported but not gated (schema migration).
 
+Benchmarks present in the current file but absent from the baseline are
+reported as "new" and skipped (there is nothing to compare against —
+they start gating on the next baseline refresh); a benchmark whose
+reference is missing or zero-time is likewise reported and skipped
+rather than failing the run, so adding a benchmark family never breaks
+an older baseline comparison.
+
 Exit status is non-zero on any violation, with a per-benchmark report
 either way.
 
@@ -41,22 +48,30 @@ def load(path: Path) -> dict:
 
 
 def normalized_times(payload: dict, path: Path) -> tuple:
-    """``({name: normalized_min}, {name: reference_name})`` for one file."""
+    """``({name: normalized_min}, {name: reference_name}, [skipped])``.
+
+    A benchmark whose reference is missing or zero-time cannot be
+    normalized; it lands in ``skipped`` (reported, never gated) instead
+    of aborting the whole comparison.
+    """
     benchmarks = payload.get("benchmarks", {})
     default_reference = payload.get("reference_benchmark")
     normalized = {}
     references = {}
+    skipped = []
     for name, entry in benchmarks.items():
         reference_name = entry.get("reference", default_reference)
         reference = benchmarks.get(reference_name, {}).get("min_s")
         if not reference:
-            sys.exit(
-                f"check_bench: {path}: reference benchmark "
-                f"{reference_name!r} (for {name!r}) missing or zero-time"
+            print(
+                f"check_bench: {path}: benchmark {name!r} has missing or "
+                f"zero-time reference {reference_name!r}; skipping it"
             )
+            skipped.append(name)
+            continue
         normalized[name] = entry["min_s"] / reference
         references[name] = reference_name
-    return normalized, references
+    return normalized, references, skipped
 
 
 def main(argv=None) -> int:
@@ -79,8 +94,8 @@ def main(argv=None) -> int:
 
     baseline = load(args.baseline)
     current = load(args.current)
-    base_norm, base_refs = normalized_times(baseline, args.baseline)
-    cur_norm, cur_refs = normalized_times(current, args.current)
+    base_norm, base_refs, _ = normalized_times(baseline, args.baseline)
+    cur_norm, cur_refs, cur_skipped = normalized_times(current, args.current)
 
     failures = []
 
@@ -104,6 +119,7 @@ def main(argv=None) -> int:
         if name == cur_refs[name]:
             continue  # a unit of measurement, not a gated benchmark
         if name not in base_norm:
+            # First appearance: nothing to compare against, never gated.
             print(f"  {name}: {cur_norm[name]:8.2f} /    (new)  [ok]")
             continue
         if base_refs.get(name) != cur_refs[name]:
@@ -120,7 +136,8 @@ def main(argv=None) -> int:
             change = 100.0 * (cur_norm[name] / base_norm[name] - 1.0)
             failures.append(f"{name} regressed {change:.0f}% (normalized)")
 
-    dropped = sorted(set(base_norm) - set(cur_norm))
+    current_names = set(cur_norm) | set(cur_skipped)
+    dropped = sorted(set(base_norm) - current_names)
     for name in dropped:
         failures.append(f"benchmark {name} disappeared from the suite")
 
