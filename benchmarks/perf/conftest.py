@@ -75,12 +75,25 @@ def record_benchmark(benchmark) -> Callable:
     return _run
 
 
+#: Derived speedup ratios: (key, slow benchmark, fast benchmark).
+_SPEEDUP_RATIOS = (
+    ("batch8_speedup_vs_serial8", "serial_8x_eval_8q", "batch_8x_eval_8q"),
+    (
+        "compile_once_speedup_vs_recompile",
+        "recompile_every_run_8q",
+        "compile_once_run_many_8q",
+    ),
+    ("fusion_speedup_8q", "unfused_run_8q", "fused_run_8q"),
+)
+
+
 def _derived(results: Dict[str, Dict[str, float]]) -> Dict[str, object]:
     derived: Dict[str, object] = {}
-    serial = results.get("serial_8x_eval_8q")
-    batched = results.get("batch_8x_eval_8q")
-    if serial and batched and batched["min_s"] > 0:
-        derived["batch8_speedup_vs_serial8"] = serial["min_s"] / batched["min_s"]
+    for key, slow_name, fast_name in _SPEEDUP_RATIOS:
+        slow = results.get(slow_name)
+        fast = results.get(fast_name)
+        if slow and fast and fast["min_s"] > 0:
+            derived[key] = slow["min_s"] / fast["min_s"]
     normalized = {}
     for name, entry in results.items():
         reference = results.get(entry.get("reference", REFERENCE_BENCHMARK))

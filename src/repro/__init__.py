@@ -23,9 +23,11 @@ Quickstart::
     print(result.final_machine_energy)
 
 The batched evaluation engine (``BatchedStatevectorSimulator``,
-``EnergyObjective.batch_energies``, ``PopulationVQE``) and the fleet
-scheduling service (``FleetExecutor``, ``FleetService``, ``DeviceFleet``;
-see :mod:`repro.fleet`) are exported here too, so workers and downstream
+``EnergyObjective.batch_energies``, ``PopulationVQE``), the unified
+compiler pipeline (``compile_plan``, ``transpile_then_compile``,
+``GatePlan``; see :mod:`repro.compiler`) and the fleet scheduling service
+(``FleetExecutor``, ``FleetService``, ``DeviceFleet``; see
+:mod:`repro.fleet`) are exported here too, so workers and downstream
 users never need to reach into submodules.
 """
 
@@ -39,6 +41,12 @@ from repro.backends import (
     TransientBackend,
 )
 from repro.circuits import Parameter, ParameterVector, QuantumCircuit
+from repro.compiler import (
+    GatePlan,
+    compile_plan,
+    plan_cache_stats,
+    transpile_then_compile,
+)
 from repro.simulator import BatchedStatevectorSimulator, simulate_statevectors
 from repro.core import (
     GradientFaithfulPolicy,
@@ -87,6 +95,10 @@ __all__ = [
     "Parameter",
     "ParameterVector",
     "QuantumCircuit",
+    "GatePlan",
+    "compile_plan",
+    "plan_cache_stats",
+    "transpile_then_compile",
     "GradientFaithfulPolicy",
     "OnlinePercentileThreshold",
     "OnlyTransientsPolicy",

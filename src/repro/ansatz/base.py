@@ -16,6 +16,7 @@ from repro.ansatz.entanglement import entanglement_pairs
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameter import Parameter, ParameterVector
 from repro.circuits.program import CompiledProgram, compile_circuit
+from repro.compiler import GatePlan, compile_plan
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -25,7 +26,10 @@ class Ansatz:
     def __init__(self, circuit: QuantumCircuit, parameters: Sequence[Parameter]):
         self._circuit = circuit
         self._parameters = tuple(parameters)
-        self._program = compile_circuit(circuit, self._parameters)
+        # Compiled through the shared plan cache: structurally identical
+        # ansatz instances (same shape, reps, entanglement) share one plan.
+        self._plan = compile_plan(circuit, self._parameters)
+        self._program: CompiledProgram | None = None
 
     @property
     def num_qubits(self) -> int:
@@ -45,7 +49,15 @@ class Ansatz:
         return self._circuit.copy()
 
     @property
+    def plan(self) -> GatePlan:
+        """The compiled (fused, cached) gate plan — the execution form."""
+        return self._plan
+
+    @property
     def program(self) -> CompiledProgram:
+        """Legacy compiled program (compatibility shim; built lazily)."""
+        if self._program is None:
+            self._program = compile_circuit(self._circuit, self._parameters)
         return self._program
 
     def bind(self, theta: Sequence[float]) -> QuantumCircuit:

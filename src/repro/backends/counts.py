@@ -5,6 +5,14 @@ corruption, optional confusion-matrix mitigation, and measurement-based
 energy estimation via qubit-wise-commuting term groups. Slow compared to
 the energy-level backends but exercises the full physical pipeline; tests
 use it to validate the global-depolarizing energy approximation.
+
+Device-aware execution routes through the compiler's single
+:func:`~repro.compiler.transpile_then_compile` entry point: pass a
+``device`` and every circuit (including the per-group measurement-basis
+rotations) is laid out, routed and basis-translated by the one transpiler
+pipeline — there is no separate basis-translation path in the counts
+backend — and outcome distributions are read back through the transpiler's
+final qubit permutation into logical order.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.compiler import DeviceCompilation, transpile_then_compile
 from repro.noise.noise_model import NoiseModel
 from repro.noise.readout import ReadoutError, ReadoutMitigator
 from repro.operators.grouping import group_commuting_terms, measurement_bases
@@ -25,7 +34,13 @@ from repro.utils.rng import SeedLike, ensure_rng
 
 
 class CountsBackend:
-    """Circuit execution returning measurement counts."""
+    """Circuit execution returning measurement counts.
+
+    With ``device`` set, circuits are lowered through
+    :func:`repro.compiler.transpile_then_compile` (layout -> routing ->
+    native basis) before simulation, and all counts / probabilities are
+    reported in *logical* qubit order regardless of routing permutations.
+    """
 
     def __init__(
         self,
@@ -33,6 +48,8 @@ class CountsBackend:
         readout_error: Optional[ReadoutError] = None,
         mitigate_readout: bool = False,
         seed: SeedLike = None,
+        device=None,
+        layout_method: str = "chain",
     ):
         self.noise_model = noise_model
         self.readout_error = readout_error
@@ -42,12 +59,51 @@ class CountsBackend:
             else None
         )
         self.rng = ensure_rng(seed)
+        self.device = device
+        self.layout_method = layout_method
+
+    def _lower(self, circuit: QuantumCircuit) -> DeviceCompilation:
+        """Device lowering through the compiler's one entry point."""
+        return transpile_then_compile(
+            circuit, self.device, layout_method=self.layout_method
+        )
+
+    @staticmethod
+    def _logical_probabilities(
+        probs: np.ndarray, compiled: DeviceCompilation, num_logical: int
+    ) -> np.ndarray:
+        """Marginalize an executed distribution back into logical order.
+
+        Each logical qubit ``v`` ends the (trimmed, routed) circuit at
+        ``compiled.logical_positions[v]``; every other live qubit is
+        traced out.
+        """
+        num_physical = int(np.log2(probs.size))
+        positions = list(compiled.logical_positions[:num_logical])
+        tensor = probs.reshape((2,) * num_physical)
+        tensor = np.moveaxis(tensor, positions, range(num_logical))
+        return tensor.reshape(2**num_logical, -1).sum(axis=1)
 
     def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
-        """Noisy outcome distribution of a bound circuit."""
-        simulator = DensityMatrixSimulator(circuit.num_qubits)
-        rho = simulator.run_circuit(circuit, noise_model=self.noise_model)
-        probs = simulator.probabilities(rho)
+        """Noisy outcome distribution of a bound circuit (logical order)."""
+        if self.device is not None:
+            compiled = self._lower(circuit)
+            simulator = DensityMatrixSimulator(compiled.circuit.num_qubits)
+            if self.noise_model is None:
+                # Noise-free: execute the plan that was already built —
+                # no second lowering through the plain compile cache.
+                rho = simulator.run_plan(compiled.plan)
+            else:
+                rho = simulator.run_circuit(
+                    compiled.circuit, noise_model=self.noise_model
+                )
+            probs = self._logical_probabilities(
+                simulator.probabilities(rho), compiled, circuit.num_qubits
+            )
+        else:
+            simulator = DensityMatrixSimulator(circuit.num_qubits)
+            rho = simulator.run_circuit(circuit, noise_model=self.noise_model)
+            probs = simulator.probabilities(rho)
         if self.readout_error is not None:
             probs = self.readout_error.apply_to_probabilities(probs)
         return probs

@@ -1,11 +1,22 @@
 """Compiled circuit programs for fast repeated evaluation.
 
+.. note::
+   This module is the *legacy* compilation surface, kept as a thin
+   compatibility shim. New code should compile through
+   :func:`repro.compiler.compile_plan`, which lowers to the
+   structure-of-arrays :class:`~repro.compiler.GatePlan` IR with static-gate
+   fusion and a shared plan cache. The compiler's lowering pass is built on
+   :func:`compile_circuit`, so the two stay in lock-step.
+
 A VQE run evaluates the same ansatz thousands of times with different
 parameter values. Re-binding :class:`QuantumCircuit` objects per call would
 dominate runtime, so a circuit compiles once into a flat list of
 :class:`ProgramOp` records. Fixed-angle gates pre-compute their matrices;
-parameterized rotations record ``(coeff, offset, parameter index)`` and
-rebuild their 2x2 matrix from the parameter array at execution time.
+parameterized rotations record ``(coeff, offset, parameter index)``.
+Angle computation is vectorized: one affine NumPy map
+``angles = coeffs * theta[param_indices] + offsets`` covers every
+parameterized op, and matrices are built per gate kind through the stacked
+constructors in :mod:`repro.circuits.gates`.
 """
 
 from __future__ import annotations
@@ -38,32 +49,40 @@ class ProgramOp:
 
 
 class CompiledProgram:
-    """A parameter-array-callable form of a circuit."""
+    """A parameter-array-callable form of a circuit.
+
+    Execution delegates to a lazily-lowered (unfused)
+    :class:`~repro.compiler.ir.GatePlan`, so the one affine-binding /
+    kind-grouped-materialization implementation lives in the compiler.
+    """
 
     def __init__(self, num_qubits: int, ops: List[ProgramOp], parameters: Tuple[Parameter, ...]):
         self.num_qubits = num_qubits
         self.ops = ops
         self.parameters = parameters
+        self._lowered = None
 
     @property
     def num_parameters(self) -> int:
         return len(self.parameters)
 
+    def _plan(self):
+        """The unfused GatePlan view of this program, lowered once."""
+        if self._lowered is None:
+            # Function-level import: the compiler package builds on this
+            # module, so the dependency must stay one-way at import time.
+            from repro.compiler.ir import lower_program
+
+            self._lowered = lower_program(self)
+        return self._lowered
+
+    def bind_angles(self, theta: Sequence[float]) -> np.ndarray:
+        """Angles for every parameterized op via one affine NumPy map."""
+        return self._plan().bind_angles(theta)
+
     def op_matrices(self, theta: Sequence[float]) -> List[Tuple[Tuple[int, ...], np.ndarray]]:
         """Materialize the gate list for a parameter vector."""
-        theta = np.asarray(theta, dtype=float)
-        if theta.shape != (self.num_parameters,):
-            raise ValueError(
-                f"expected {self.num_parameters} parameters, got shape {theta.shape}"
-            )
-        out: List[Tuple[Tuple[int, ...], np.ndarray]] = []
-        for op in self.ops:
-            if op.matrix is not None:
-                out.append((op.qubits, op.matrix))
-            else:
-                angle = op.coeff * theta[op.param_index] + op.offset
-                out.append((op.qubits, GATES[op.gate_name].matrix((angle,))))
-        return out
+        return list(self._plan().op_matrices(theta))
 
 
 def compile_circuit(

@@ -1,0 +1,184 @@
+"""The shared plan cache and compile-time knobs.
+
+The paper's workload is thousands of re-evaluations of the *same* ansatz,
+so compilation must happen once per circuit structure, not once per run.
+Every entry point in :mod:`repro.compiler.api` keys its output by a
+content hash of the circuit (gate names, qubit operands, and either the
+literal float parameters or the positional affine map of symbolic ones)
+plus the pipeline configuration, and stores it in one process-wide LRU —
+shared by ``run_circuit``, the figure benchmarks, and the fleet's worker
+threads alike.
+
+Knobs (see the README's consolidated ``REPRO_*`` table):
+
+* ``REPRO_FUSION=0`` — kill switch for static-gate fusion (parity
+  debugging; fused and unfused execution agree to <= 1e-12);
+* ``REPRO_PLAN_CACHE=<n>`` — LRU capacity (default 256; ``0`` disables
+  caching entirely).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameter import Parameter, ParameterExpression
+
+DEFAULT_PLAN_CACHE_CAPACITY = 256
+
+
+def fusion_enabled() -> bool:
+    """Whether static-gate fusion is on (``REPRO_FUSION`` kill switch).
+
+    ``REPRO_FUSION=0`` (or ``off``/``false``/``no``) disables fusion so
+    plans execute their source gates one by one — the escape hatch for
+    isolating fused-vs-unfused numeric differences.
+    """
+    value = os.environ.get("REPRO_FUSION", "").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+def plan_cache_capacity() -> int:
+    """LRU capacity from ``REPRO_PLAN_CACHE`` (``<= 0`` disables caching)."""
+    value = os.environ.get("REPRO_PLAN_CACHE", "").strip()
+    if not value:
+        return DEFAULT_PLAN_CACHE_CAPACITY
+    try:
+        return int(value)
+    except ValueError:
+        return DEFAULT_PLAN_CACHE_CAPACITY
+
+
+class PlanCache:
+    """A thread-safe content-hash-keyed LRU for compiled artifacts.
+
+    Thread safety matters: the fleet runs one worker thread per device and
+    all of them compile through this one cache. The capacity is re-read
+    from the environment on every insert so tests (and operators) can
+    resize or disable it without rebuilding the singleton.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._fixed_capacity = capacity
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        if self._fixed_capacity is not None:
+            return self._fixed_capacity
+        return plan_cache_capacity()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_build(self, key: str, build: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building it on a miss.
+
+        ``build`` runs outside the lock only on the thread that missed;
+        a concurrent miss on the same key may build twice, but the second
+        insert wins and both results are structurally identical (builds
+        are pure functions of the key's content).
+        """
+        capacity = self.capacity
+        if capacity <= 0:
+            with self._lock:
+                self.misses += 1
+            return build()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+        value = build()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+
+#: The process-wide cache every compile entry point shares.
+PLAN_CACHE = PlanCache()
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the shared plan cache."""
+    return PLAN_CACHE.stats()
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the counters."""
+    PLAN_CACHE.clear()
+
+
+def circuit_fingerprint(
+    circuit: QuantumCircuit,
+    parameters: Optional[Sequence[Parameter]] = None,
+    extra: Iterable[object] = (),
+) -> str:
+    """Content hash of a circuit's structure.
+
+    Symbolic parameters hash by *position* in the given ordering (plus
+    their affine coefficients), not by object identity — two structurally
+    identical ansatz instances therefore share one cached plan. ``extra``
+    folds pipeline configuration (fusion flag, device fingerprint, ...)
+    into the key.
+    """
+    if parameters is None:
+        parameters = circuit.parameters
+    parameters = tuple(parameters)
+    index_of = {param: i for i, param in enumerate(parameters)}
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{circuit.num_qubits}|{len(parameters)}".encode())
+    for item in extra:
+        digest.update(f"|{item}".encode())
+    for inst in circuit:
+        digest.update(f"|{inst.name}:{','.join(map(str, inst.qubits))}".encode())
+        for param in inst.params:
+            if isinstance(param, ParameterExpression):
+                index = index_of.get(param.parameter)
+                if index is None:
+                    raise KeyError(
+                        f"parameter {param.parameter.name!r} missing from "
+                        "parameter ordering"
+                    )
+                digest.update(f"|p{index}:{param.coeff!r}:{param.offset!r}".encode())
+            else:
+                digest.update(f"|f{float(param)!r}".encode())
+    return digest.hexdigest()
+
+
+def coupling_fingerprint(coupling) -> str:
+    """Content hash of a coupling map (qubit count plus sorted edge list)."""
+    edges: Tuple[Tuple[int, int], ...] = tuple(coupling.edges)
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(f"{coupling.num_qubits}|{edges}".encode())
+    return digest.hexdigest()

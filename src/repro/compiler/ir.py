@@ -1,0 +1,205 @@
+"""The :class:`GatePlan` intermediate representation.
+
+A gate plan is the executable form every simulation layer consumes: an
+ordered tuple of :class:`PlanOp` records (static ops carry a precomputed —
+possibly fused — matrix; parameterized ops carry a *slot* into a
+structure-of-arrays parameter table) plus the SoA table itself:
+
+* ``param_indices`` — which entry of ``theta`` each parameterized op reads,
+* ``coeffs`` / ``offsets`` — the affine map per op,
+* ``slot_gate_names`` — the gate kind per op, grouped so matrices build
+  per kind through the stacked constructors.
+
+Binding a parameter vector is therefore ONE NumPy affine map
+``angles = coeffs * theta[param_indices] + offsets`` (with a batched
+``(B, P)`` variant used by :class:`~repro.simulator.batched.
+BatchedStatevectorSimulator`), replacing the per-op Python branch of the
+legacy :class:`~repro.circuits.program.CompiledProgram` path.
+
+Plans also remember their *pre-fusion* single-/two-qubit gate counts so
+noise modelling (global-depolarizing survival factors) keeps seeing the
+physical circuit, not the fused execution schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.gates import stacked_gate_matrices
+from repro.circuits.parameter import Parameter
+from repro.circuits.program import CompiledProgram
+
+
+@dataclass(frozen=True)
+class PlanOp:
+    """One executable plan operation.
+
+    ``matrix`` is set for static ops (possibly the product of several
+    fused source gates). Parameterized ops set ``gate_name`` and ``slot``
+    — the row of the plan's parameter table holding their affine map.
+    """
+
+    qubits: Tuple[int, ...]
+    matrix: Optional[np.ndarray] = None
+    gate_name: Optional[str] = None
+    slot: int = -1
+
+    @property
+    def is_static(self) -> bool:
+        return self.matrix is not None
+
+
+class GatePlan:
+    """Structure-of-arrays executable form of a circuit."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        ops: Sequence[PlanOp],
+        parameters: Tuple[Parameter, ...],
+        param_indices: np.ndarray,
+        coeffs: np.ndarray,
+        offsets: np.ndarray,
+        slot_gate_names: Tuple[str, ...],
+        *,
+        source_gate_counts: Tuple[int, int],
+        fused: bool = False,
+        key: Optional[str] = None,
+    ):
+        self.num_qubits = num_qubits
+        self.ops: Tuple[PlanOp, ...] = tuple(ops)
+        self.parameters = parameters
+        self.param_indices = np.asarray(param_indices, dtype=np.intp)
+        self.coeffs = np.asarray(coeffs, dtype=float)
+        self.offsets = np.asarray(offsets, dtype=float)
+        self.slot_gate_names = tuple(slot_gate_names)
+        #: (single-qubit, two-qubit) gate counts of the *source* circuit,
+        #: stable under fusion — noise models consume these.
+        self.source_gate_counts = source_gate_counts
+        self.fused = fused
+        #: Content-hash cache key (set when compiled through the cache).
+        self.key = key
+        kind_slots: Dict[str, List[int]] = {}
+        for slot, name in enumerate(self.slot_gate_names):
+            kind_slots.setdefault(name, []).append(slot)
+        self._kind_slots = {
+            name: np.asarray(slots, dtype=np.intp)
+            for name, slots in kind_slots.items()
+        }
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def num_param_ops(self) -> int:
+        return int(self.param_indices.size)
+
+    @property
+    def num_static_ops(self) -> int:
+        return sum(1 for op in self.ops if op.is_static)
+
+    @property
+    def num_1q_gates(self) -> int:
+        return self.source_gate_counts[0]
+
+    @property
+    def num_2q_gates(self) -> int:
+        return self.source_gate_counts[1]
+
+    # -- parameter binding -----------------------------------------------------
+
+    def bind_angles(self, theta: Sequence[float]) -> np.ndarray:
+        """Per-slot angles for one parameter vector — a single affine map."""
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (self.num_parameters,):
+            raise ValueError(
+                f"expected {self.num_parameters} parameters, got shape {theta.shape}"
+            )
+        return self.coeffs * theta[self.param_indices] + self.offsets
+
+    def bind_angles_batch(self, thetas: np.ndarray) -> np.ndarray:
+        """``(B, num_param_ops)`` angles for a ``(B, P)`` parameter batch."""
+        thetas = np.asarray(thetas, dtype=float)
+        if thetas.ndim != 2 or thetas.shape[1] != self.num_parameters:
+            raise ValueError(
+                f"expected thetas of shape (B, {self.num_parameters}), "
+                f"got {thetas.shape}"
+            )
+        return self.coeffs * thetas[:, self.param_indices] + self.offsets
+
+    # -- materialization -------------------------------------------------------
+
+    def slot_matrices(self, angles: np.ndarray) -> List[np.ndarray]:
+        """One matrix per parameterized op, built per gate kind.
+
+        ``angles`` is the output of :meth:`bind_angles`; kinds sharing a
+        builder are constructed in one stacked call each.
+        """
+        materialized: List[Optional[np.ndarray]] = [None] * self.num_param_ops
+        for kind, slots in self._kind_slots.items():
+            stacked = stacked_gate_matrices(kind, angles[slots])
+            for position, slot in enumerate(slots):
+                materialized[slot] = stacked[position]
+        return materialized
+
+    def op_matrices(
+        self, theta: Sequence[float]
+    ) -> Iterator[Tuple[Tuple[int, ...], np.ndarray]]:
+        """Yield ``(qubits, matrix)`` pairs for a parameter vector."""
+        matrices = self.slot_matrices(self.bind_angles(theta))
+        for op in self.ops:
+            yield op.qubits, (op.matrix if op.matrix is not None else matrices[op.slot])
+
+    def __repr__(self) -> str:
+        return (
+            f"GatePlan(qubits={self.num_qubits}, ops={len(self.ops)}, "
+            f"params={self.num_parameters}, fused={self.fused})"
+        )
+
+
+def lower_program(program: CompiledProgram, *, key: Optional[str] = None) -> GatePlan:
+    """Lower a legacy :class:`CompiledProgram` into an (unfused) plan.
+
+    The compiler's lowering pass routes through
+    :func:`repro.circuits.program.compile_circuit` and this function, so
+    there is exactly one circuit-walking implementation in the codebase.
+    """
+    ops: List[PlanOp] = []
+    param_indices: List[int] = []
+    coeffs: List[float] = []
+    offsets: List[float] = []
+    slot_gate_names: List[str] = []
+    singles = 0
+    twos = 0
+    for op in program.ops:
+        if len(op.qubits) == 2:
+            twos += 1
+        else:
+            singles += 1
+        if op.matrix is not None:
+            ops.append(PlanOp(op.qubits, matrix=op.matrix))
+            continue
+        slot = len(param_indices)
+        param_indices.append(op.param_index)
+        coeffs.append(op.coeff)
+        offsets.append(op.offset)
+        slot_gate_names.append(op.gate_name)
+        ops.append(PlanOp(op.qubits, gate_name=op.gate_name, slot=slot))
+    return GatePlan(
+        program.num_qubits,
+        ops,
+        program.parameters,
+        np.asarray(param_indices, dtype=np.intp),
+        np.asarray(coeffs, dtype=float),
+        np.asarray(offsets, dtype=float),
+        tuple(slot_gate_names),
+        source_gate_counts=(singles, twos),
+        fused=False,
+        key=key,
+    )

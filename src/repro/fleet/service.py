@@ -188,6 +188,7 @@ class FleetService:
         if idle:  # all-hit submission: no threads to spin up
             self._persist_telemetry()
             return
+        self._warm_plan_cache()
         pool = WorkerPool(self.fleet, self._run_on_device)
         pool.start()
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -209,6 +210,29 @@ class FleetService:
         finally:
             pool.stop()
             self._persist_telemetry()
+
+    def _warm_plan_cache(self) -> None:
+        """Compile each pending app's ansatz once before workers start.
+
+        Worker threads all compile through the shared
+        :data:`repro.compiler.PLAN_CACHE`; warming it here means the
+        per-device threads only ever *bind* parameters against cached
+        plans (see :func:`repro.runtime.execute.warm_plan_cache`).
+        """
+        from repro.runtime.execute import warm_plan_cache
+
+        warmed = set()
+        with self._wake:
+            jobs = list(self._pending)
+        for job in jobs:
+            name = job.spec.app_name
+            if name in warmed:
+                continue
+            warmed.add(name)
+            try:
+                warm_plan_cache(job.spec)
+            except Exception:  # pragma: no cover - warm-up is best effort
+                pass
 
     def _dispatch(self, pool, job: FleetJob) -> None:
         tick = self.clock.now()

@@ -64,6 +64,18 @@ def spsa_seed(spec: RunSpec) -> int:
     return derive_seed(spec.seed, f"run:{spec.app_name}")
 
 
+def warm_plan_cache(spec: RunSpec):
+    """Pre-compile a spec's ansatz into the shared plan cache.
+
+    The fleet calls this once per distinct app before spinning up its
+    worker threads, so every device worker binds parameters against one
+    already-compiled :class:`~repro.compiler.GatePlan` instead of racing
+    to compile the same ansatz. Returns the plan.
+    """
+    app = resolve_app(spec.app)
+    return app.build_ansatz().plan
+
+
 def execute_run(spec: RunSpec) -> RunResult:
     """Execute one spec to completion (synchronously, in this process)."""
     app = resolve_app(spec.app)

@@ -13,7 +13,11 @@ from repro.simulator.batched import (
     simulate_statevectors,
 )
 from repro.simulator.density_matrix import DensityMatrixSimulator
-from repro.simulator.sampling import counts_from_probabilities, sample_counts
+from repro.simulator.sampling import (
+    counts_from_probabilities,
+    sample_counts,
+    sample_plan,
+)
 from repro.simulator.expectation import (
     expectation_from_counts,
     expectation_of_matrix,
@@ -29,6 +33,7 @@ __all__ = [
     "DensityMatrixSimulator",
     "counts_from_probabilities",
     "sample_counts",
+    "sample_plan",
     "expectation_from_counts",
     "expectation_of_matrix",
     "expectation_of_pauli_sum",

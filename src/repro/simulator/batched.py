@@ -8,13 +8,15 @@ through every gate application: states are rank-``n+1`` tensors of shape
 ``(B, 2, ..., 2)`` and each gate is applied to all ``B`` states in one
 NumPy contraction, amortizing the per-gate overhead across the batch.
 
-Two contraction kinds cover a compiled program:
+Two contraction kinds cover a compiled plan:
 
-* fixed gates share one matrix across the batch — a single ``tensordot``
+* static gates share one matrix across the batch — a single ``tensordot``
   over the (shifted-by-one) qubit axes;
 * parameterized gates have a *different* matrix per batch element — the
-  per-element angles are built vectorized, stacked into a ``(B, 2**k,
-  2**k)`` tensor, and contracted with batched ``matmul``.
+  whole ``(B, num_param_ops)`` angle table is built in one affine map
+  (:meth:`repro.compiler.GatePlan.bind_angles_batch`), each op's matrices
+  are stacked into ``(B, 2**k, 2**k)``, and contracted with batched
+  ``matmul``.
 
 Numerics: the same complex128 arithmetic as the serial path; results
 agree with per-element serial simulation to floating-point
@@ -24,13 +26,26 @@ and energies — see ``tests/test_batched_equivalence.py``).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import GATES
-from repro.circuits.program import CompiledProgram, compile_circuit
+from repro.circuits.gates import (
+    STACKED_GATE_BUILDERS as BATCHED_GATE_BUILDERS,
+    stacked_gate_matrices as batched_gate_matrices,
+)
+from repro.circuits.program import CompiledProgram
+from repro.compiler import GatePlan, compile_plan
+
+__all__ = [
+    "BATCHED_GATE_BUILDERS",
+    "BatchedStatevectorSimulator",
+    "apply_gate_batched",
+    "apply_gates_elementwise",
+    "batched_gate_matrices",
+    "simulate_statevectors",
+]
 
 
 def apply_gate_batched(
@@ -69,121 +84,12 @@ def apply_gates_elementwise(
     return np.moveaxis(out, tuple(range(1, k + 1)), axes)
 
 
-# -- vectorized parameterized-gate constructors -------------------------------
-#
-# Each builder maps a ``(B,)`` angle array to a ``(B, 2**k, 2**k)`` matrix
-# stack using the same formulas as the scalar constructors in
-# ``repro.circuits.gates`` (so per-element values are bit-identical).
-
-BatchedGateBuilder = Callable[[np.ndarray], np.ndarray]
-
-
-def _stack_rx(angles: np.ndarray) -> np.ndarray:
-    half = angles / 2.0
-    cos, sin = np.cos(half), np.sin(half)
-    out = np.empty((angles.size, 2, 2), dtype=complex)
-    out[:, 0, 0] = cos
-    out[:, 0, 1] = -1j * sin
-    out[:, 1, 0] = -1j * sin
-    out[:, 1, 1] = cos
-    return out
-
-
-def _stack_ry(angles: np.ndarray) -> np.ndarray:
-    half = angles / 2.0
-    cos, sin = np.cos(half), np.sin(half)
-    out = np.empty((angles.size, 2, 2), dtype=complex)
-    out[:, 0, 0] = cos
-    out[:, 0, 1] = -sin
-    out[:, 1, 0] = sin
-    out[:, 1, 1] = cos
-    return out
-
-
-def _stack_rz(angles: np.ndarray) -> np.ndarray:
-    half = angles / 2.0
-    out = np.zeros((angles.size, 2, 2), dtype=complex)
-    out[:, 0, 0] = np.exp(-1j * half)
-    out[:, 1, 1] = np.exp(1j * half)
-    return out
-
-
-def _stack_p(angles: np.ndarray) -> np.ndarray:
-    out = np.zeros((angles.size, 2, 2), dtype=complex)
-    out[:, 0, 0] = 1.0
-    out[:, 1, 1] = np.exp(1j * angles)
-    return out
-
-
-def _stack_rzz(angles: np.ndarray) -> np.ndarray:
-    half = angles / 2.0
-    minus, plus = np.exp(-1j * half), np.exp(1j * half)
-    out = np.zeros((angles.size, 4, 4), dtype=complex)
-    out[:, 0, 0] = minus
-    out[:, 1, 1] = plus
-    out[:, 2, 2] = plus
-    out[:, 3, 3] = minus
-    return out
-
-
-def _stack_rxx(angles: np.ndarray) -> np.ndarray:
-    half = angles / 2.0
-    cos, anti = np.cos(half), -1j * np.sin(half)
-    out = np.zeros((angles.size, 4, 4), dtype=complex)
-    for i in range(4):
-        out[:, i, i] = cos
-        out[:, i, 3 - i] = anti
-    return out
-
-
-def _stack_crx(angles: np.ndarray) -> np.ndarray:
-    out = np.zeros((angles.size, 4, 4), dtype=complex)
-    out[:, 0, 0] = 1.0
-    out[:, 1, 1] = 1.0
-    out[:, 2:, 2:] = _stack_rx(angles)
-    return out
-
-
-def _stack_crz(angles: np.ndarray) -> np.ndarray:
-    out = np.zeros((angles.size, 4, 4), dtype=complex)
-    out[:, 0, 0] = 1.0
-    out[:, 1, 1] = 1.0
-    out[:, 2:, 2:] = _stack_rz(angles)
-    return out
-
-
-BATCHED_GATE_BUILDERS: Dict[str, BatchedGateBuilder] = {
-    "rx": _stack_rx,
-    "ry": _stack_ry,
-    "rz": _stack_rz,
-    "p": _stack_p,
-    "rzz": _stack_rzz,
-    "rxx": _stack_rxx,
-    "crx": _stack_crx,
-    "crz": _stack_crz,
-}
-
-
-def batched_gate_matrices(gate_name: str, angles: np.ndarray) -> np.ndarray:
-    """``(B, 2**k, 2**k)`` matrices for a single-parameter gate.
-
-    Falls back to stacking the scalar constructor for gate kinds without
-    a vectorized builder.
-    """
-    angles = np.asarray(angles, dtype=float).reshape(-1)
-    builder = BATCHED_GATE_BUILDERS.get(gate_name)
-    if builder is not None:
-        return builder(angles)
-    spec = GATES[gate_name]
-    return np.stack([spec.matrix((float(a),)) for a in angles])
-
-
 class BatchedStatevectorSimulator:
-    """Executes compiled programs on a whole batch of parameter sets.
+    """Executes compiled plans on a whole batch of parameter sets.
 
     States are ``(B,) + (2,) * n`` tensors; qubit ``q`` lives on tensor
-    axis ``q + 1``. One :meth:`run_program` call pushes all ``B``
-    parameter vectors through the ansatz in a single NumPy pass per gate.
+    axis ``q + 1``. One :meth:`run_plan` call pushes all ``B`` parameter
+    vectors through the ansatz in a single NumPy pass per gate.
     """
 
     def __init__(self, num_qubits: int):
@@ -198,31 +104,65 @@ class BatchedStatevectorSimulator:
         states[(slice(None),) + (0,) * self.num_qubits] = 1.0
         return states
 
-    def run_program(
+    def _initial(
+        self, batch: int, initial_states: Optional[np.ndarray]
+    ) -> np.ndarray:
+        if initial_states is None:
+            return self.zero_states(batch)
+        return np.array(initial_states, dtype=complex).reshape(
+            (batch,) + (2,) * self.num_qubits
+        )
+
+    def _validate_thetas(self, thetas: np.ndarray, num_parameters: int) -> np.ndarray:
+        thetas = np.asarray(thetas, dtype=float)
+        if thetas.ndim != 2 or thetas.shape[1] != num_parameters:
+            raise ValueError(
+                f"expected thetas of shape (B, {num_parameters}), "
+                f"got {thetas.shape}"
+            )
+        return thetas
+
+    def run_plan(
         self,
-        program: CompiledProgram,
+        plan: GatePlan,
         thetas: np.ndarray,
         initial_states: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Run a compiled program for a ``(B, P)`` parameter batch.
+        """Run a gate plan for a ``(B, P)`` parameter batch.
+
+        The whole ``(B, num_param_ops)`` angle table is one affine NumPy
+        map; per-op matrix stacks are built by the vectorized constructors
+        in :mod:`repro.circuits.gates`.
+        """
+        if plan.num_qubits != self.num_qubits:
+            raise ValueError("plan qubit count mismatch")
+        thetas = self._validate_thetas(thetas, plan.num_parameters)
+        states = self._initial(thetas.shape[0], initial_states)
+        angles = plan.bind_angles_batch(thetas)
+        for op in plan.ops:
+            if op.matrix is not None:
+                states = apply_gate_batched(states, op.matrix, op.qubits)
+            else:
+                matrices = batched_gate_matrices(op.gate_name, angles[:, op.slot])
+                states = apply_gates_elementwise(states, matrices, op.qubits)
+        return states
+
+    def run_program(
+        self,
+        program: Union[CompiledProgram, GatePlan],
+        thetas: np.ndarray,
+        initial_states: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run a compiled program (or plan) for a ``(B, P)`` batch.
 
         Returns the final ``(B,) + (2,) * n`` state tensor batch.
         """
+        if isinstance(program, GatePlan):
+            return self.run_plan(program, thetas, initial_states)
         if program.num_qubits != self.num_qubits:
             raise ValueError("program qubit count mismatch")
-        thetas = np.asarray(thetas, dtype=float)
-        if thetas.ndim != 2 or thetas.shape[1] != program.num_parameters:
-            raise ValueError(
-                f"expected thetas of shape (B, {program.num_parameters}), "
-                f"got {thetas.shape}"
-            )
-        batch = thetas.shape[0]
-        if initial_states is None:
-            states = self.zero_states(batch)
-        else:
-            states = np.array(initial_states, dtype=complex).reshape(
-                (batch,) + (2,) * self.num_qubits
-            )
+        thetas = self._validate_thetas(thetas, program.num_parameters)
+        states = self._initial(thetas.shape[0], initial_states)
         for op in program.ops:
             if op.matrix is not None:
                 states = apply_gate_batched(states, op.matrix, op.qubits)
@@ -234,7 +174,7 @@ class BatchedStatevectorSimulator:
 
     def run_flat(
         self,
-        program: CompiledProgram,
+        program: Union[CompiledProgram, GatePlan],
         thetas: np.ndarray,
         initial_states: Optional[np.ndarray] = None,
     ) -> np.ndarray:
@@ -244,17 +184,18 @@ class BatchedStatevectorSimulator:
 
 
 def simulate_statevectors(
-    circuit_or_program: Union[QuantumCircuit, CompiledProgram],
+    circuit_or_program: Union[QuantumCircuit, CompiledProgram, GatePlan],
     thetas: np.ndarray,
 ) -> np.ndarray:
     """Convenience wrapper: ``(B, P)`` parameters to ``(B, 2**n)`` vectors.
 
     The batched sibling of
-    :func:`repro.simulator.statevector.simulate_statevector`.
+    :func:`repro.simulator.statevector.simulate_statevector`. Circuits
+    compile through the shared plan cache.
     """
-    if isinstance(circuit_or_program, CompiledProgram):
+    if isinstance(circuit_or_program, (CompiledProgram, GatePlan)):
         program = circuit_or_program
     else:
-        program = compile_circuit(circuit_or_program)
+        program = compile_plan(circuit_or_program)
     simulator = BatchedStatevectorSimulator(program.num_qubits)
     return simulator.run_flat(program, np.asarray(thetas, dtype=float))

@@ -8,12 +8,13 @@ systems (n <= ~10), which covers every workload in the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import GATES
+from repro.compiler import GatePlan, compile_plan
 
 
 class DensityMatrixSimulator:
@@ -78,6 +79,27 @@ class DensityMatrixSimulator:
             raise ValueError("empty Kraus operator list")
         return result
 
+    def run_plan(
+        self,
+        plan: GatePlan,
+        theta: Sequence[float] = (),
+        initial_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Unitary evolution of a compiled gate plan (no noise channels).
+
+        Noise models attach Kraus channels per *physical* gate, which a
+        fused plan no longer exposes — noisy execution stays on the
+        per-instruction :meth:`run_circuit` path.
+        """
+        if plan.num_qubits != self.num_qubits:
+            raise ValueError("plan qubit count mismatch")
+        rho = self.zero_state() if initial_state is None else np.array(
+            initial_state, dtype=complex
+        ).reshape((2,) * (2 * self.num_qubits))
+        for qubits, matrix in plan.op_matrices(theta):
+            rho = self.apply_unitary(rho, matrix, qubits)
+        return rho
+
     def run_circuit(
         self,
         circuit: QuantumCircuit,
@@ -88,10 +110,16 @@ class DensityMatrixSimulator:
 
         ``noise_model`` follows the ``repro.noise.NoiseModel`` protocol:
         ``channels_for(gate_name, qubits)`` yields ``(kraus_ops, qubits)``
-        pairs applied after the ideal gate.
+        pairs applied after the ideal gate. Noise-free runs compile
+        through the shared plan cache (with fusion) instead of rebuilding
+        gate matrices per instruction.
         """
         if circuit.num_parameters:
             raise ValueError("circuit has unbound parameters; bind it first")
+        if noise_model is None:
+            return self.run_plan(
+                compile_plan(circuit), np.empty(0), initial_state
+            )
         rho = self.zero_state() if initial_state is None else np.array(
             initial_state, dtype=complex
         ).reshape((2,) * (2 * self.num_qubits))
@@ -100,11 +128,10 @@ class DensityMatrixSimulator:
                 continue
             matrix = GATES[inst.name].matrix(tuple(float(p) for p in inst.params))
             rho = self.apply_unitary(rho, matrix, inst.qubits)
-            if noise_model is not None:
-                for kraus_ops, qubits in noise_model.channels_for(
-                    inst.name, inst.qubits
-                ):
-                    rho = self.apply_kraus(rho, kraus_ops, qubits)
+            for kraus_ops, qubits in noise_model.channels_for(
+                inst.name, inst.qubits
+            ):
+                rho = self.apply_kraus(rho, kraus_ops, qubits)
         return rho
 
     # -- measurement ----------------------------------------------------------------

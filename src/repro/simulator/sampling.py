@@ -62,3 +62,21 @@ def probabilities_from_counts(counts: Dict[str, int]) -> Dict[str, float]:
     if total <= 0:
         raise ValueError("counts are empty")
     return {bits: value / total for bits, value in counts.items()}
+
+
+def sample_plan(
+    plan_or_circuit,
+    theta=(),
+    shots: int = 1024,
+    seed: SeedLike = None,
+) -> Dict[str, int]:
+    """Sample measurement counts from a compiled plan (or circuit).
+
+    The sampling layer's :class:`~repro.compiler.GatePlan` consumer:
+    circuits compile through the shared plan cache, so repeated sampling
+    of the same circuit never recompiles.
+    """
+    from repro.simulator.statevector import simulate_statevector
+
+    state = simulate_statevector(plan_or_circuit, theta)
+    return sample_counts(state, shots, seed)

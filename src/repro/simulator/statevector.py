@@ -3,6 +3,11 @@
 States are stored as rank-``n`` tensors of shape ``(2,) * n`` with qubit 0
 as the *first* tensor axis. Bitstring conventions elsewhere in the library
 print qubit 0 as the leftmost character.
+
+Execution consumes the compiler's :class:`~repro.compiler.GatePlan` IR;
+the legacy :class:`~repro.circuits.program.CompiledProgram` is still
+accepted for backward compatibility. ``run_circuit`` compiles through the
+shared plan cache, so repeated bound-circuit runs are compile-free.
 """
 
 from __future__ import annotations
@@ -12,7 +17,8 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.program import CompiledProgram, compile_circuit
+from repro.circuits.program import CompiledProgram
+from repro.compiler import GatePlan, compile_plan
 
 
 def apply_gate(
@@ -32,7 +38,7 @@ def apply_gate(
 
 
 class StatevectorSimulator:
-    """Executes compiled programs / circuits on pure states."""
+    """Executes gate plans / compiled programs / circuits on pure states."""
 
     def __init__(self, num_qubits: int):
         if num_qubits < 1:
@@ -44,18 +50,39 @@ class StatevectorSimulator:
         state[(0,) * self.num_qubits] = 1.0
         return state
 
+    def _initial(self, initial_state: Optional[np.ndarray]) -> np.ndarray:
+        if initial_state is None:
+            return self.zero_state()
+        return np.array(initial_state, dtype=complex).reshape(
+            (2,) * self.num_qubits
+        )
+
+    def run_plan(
+        self,
+        plan: GatePlan,
+        theta: Sequence[float] = (),
+        initial_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run a compiled gate plan and return the final state tensor."""
+        if plan.num_qubits != self.num_qubits:
+            raise ValueError("plan qubit count mismatch")
+        state = self._initial(initial_state)
+        for qubits, matrix in plan.op_matrices(theta):
+            state = apply_gate(state, matrix, qubits)
+        return state
+
     def run_program(
         self,
-        program: CompiledProgram,
+        program: Union[CompiledProgram, GatePlan],
         theta: Sequence[float],
         initial_state: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Run a compiled program and return the final state tensor."""
+        """Run a compiled program (or plan) and return the final state."""
+        if isinstance(program, GatePlan):
+            return self.run_plan(program, theta, initial_state)
         if program.num_qubits != self.num_qubits:
             raise ValueError("program qubit count mismatch")
-        state = self.zero_state() if initial_state is None else np.array(
-            initial_state, dtype=complex
-        ).reshape((2,) * self.num_qubits)
+        state = self._initial(initial_state)
         for qubits, matrix in program.op_matrices(theta):
             state = apply_gate(state, matrix, qubits)
         return state
@@ -65,23 +92,24 @@ class StatevectorSimulator:
         circuit: QuantumCircuit,
         initial_state: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Run a fully bound circuit."""
+        """Run a fully bound circuit (compiled through the plan cache)."""
         if circuit.num_parameters:
             raise ValueError("circuit has unbound parameters; bind it first")
-        program = compile_circuit(circuit)
-        return self.run_program(program, np.empty(0), initial_state)
+        plan = compile_plan(circuit)
+        return self.run_plan(plan, np.empty(0), initial_state)
 
 
 def simulate_statevector(
-    circuit_or_program: Union[QuantumCircuit, CompiledProgram],
+    circuit_or_program: Union[QuantumCircuit, CompiledProgram, GatePlan],
     theta: Sequence[float] = (),
 ) -> np.ndarray:
     """Convenience wrapper returning the flat statevector of length 2**n.
 
     The flattening uses qubit 0 as the most-significant bit, consistent with
-    the tensor layout.
+    the tensor layout. Accepts a circuit (compiled through the plan cache),
+    a :class:`GatePlan`, or a legacy :class:`CompiledProgram`.
     """
-    if isinstance(circuit_or_program, CompiledProgram):
+    if isinstance(circuit_or_program, (CompiledProgram, GatePlan)):
         program = circuit_or_program
         sim = StatevectorSimulator(program.num_qubits)
         state = sim.run_program(program, theta)
@@ -89,8 +117,7 @@ def simulate_statevector(
         circuit = circuit_or_program
         sim = StatevectorSimulator(circuit.num_qubits)
         if circuit.num_parameters:
-            program = compile_circuit(circuit)
-            state = sim.run_program(program, theta)
+            state = sim.run_plan(compile_plan(circuit), theta)
         else:
             state = sim.run_circuit(circuit)
     return state.reshape(-1)

@@ -1,4 +1,11 @@
-"""The transpile pipeline: layout -> routing -> basis translation."""
+"""The transpile pipeline: layout -> routing -> basis translation.
+
+The individual stages now live as compiler passes in
+:mod:`repro.compiler.passes` (``SelectLayout``, ``RouteCircuit``,
+``TranslateToBasis``); :func:`transpile` is a thin wrapper that runs them
+and repackages the bookkeeping. Callers that want an executable plan in
+one step should use :func:`repro.compiler.transpile_then_compile`.
+"""
 
 from __future__ import annotations
 
@@ -7,14 +14,7 @@ from typing import Dict
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.devices.coupling import CouplingMap
-from repro.transpiler.basis import translate_to_basis
-from repro.transpiler.layout import (
-    Layout,
-    apply_layout,
-    linear_chain_layout,
-    trivial_layout,
-)
-from repro.transpiler.routing import route_circuit
+from repro.transpiler.layout import Layout
 
 
 @dataclass(frozen=True)
@@ -42,20 +42,23 @@ def transpile(
     ``layout_method`` is ``"chain"`` (find a simple path; best for
     linear-entanglement ansatz circuits) or ``"trivial"``.
     """
-    if layout_method == "chain":
-        layout = linear_chain_layout(circuit, coupling)
-    elif layout_method == "trivial":
-        layout = trivial_layout(circuit, coupling)
-    else:
-        raise ValueError(f"unknown layout method {layout_method!r}")
+    from repro.compiler.passes import (
+        CompilationUnit,
+        Pipeline,
+        RouteCircuit,
+        SelectLayout,
+        TranslateToBasis,
+    )
 
-    placed = apply_layout(circuit, layout)
-    routed, permutation = route_circuit(placed, coupling)
-    num_swaps = routed.count_ops().get("swap", 0)
-    final = translate_to_basis(routed) if to_native_basis else routed
+    passes = [SelectLayout(layout_method), RouteCircuit()]
+    if to_native_basis:
+        passes.append(TranslateToBasis())
+    unit = Pipeline(passes, name="transpile").run(
+        CompilationUnit(circuit=circuit, coupling=coupling)
+    )
     return TranspileResult(
-        circuit=final,
-        layout=layout,
-        final_permutation=permutation,
-        num_swaps=num_swaps,
+        circuit=unit.circuit,
+        layout=unit.layout,
+        final_permutation=unit.final_permutation,
+        num_swaps=unit.num_swaps,
     )

@@ -42,6 +42,8 @@ class EnergyObjective:
             )
         self.ansatz = ansatz
         self.hamiltonian = hamiltonian
+        #: The compiled (fused, cached) execution form of the ansatz.
+        self._plan = ansatz.plan
         self._simulator = StatevectorSimulator(ansatz.num_qubits)
         self._batched_simulator = BatchedStatevectorSimulator(ansatz.num_qubits)
         self._dense: Optional[np.ndarray] = None
@@ -67,13 +69,13 @@ class EnergyObjective:
         return self._dense
 
     def statevector(self, theta: np.ndarray) -> np.ndarray:
-        state = self._simulator.run_program(self.ansatz.program, theta)
+        state = self._simulator.run_plan(self._plan, theta)
         return state.reshape(-1)
 
     def ideal_energy(self, theta: np.ndarray) -> float:
         """Exact ``<psi(theta)|H|psi(theta)>``."""
         self.evaluations += 1
-        state = self._simulator.run_program(self.ansatz.program, theta)
+        state = self._simulator.run_plan(self._plan, theta)
         psi = state.reshape(-1)
         if self.uses_dense_hamiltonian:
             dense = self._dense_matrix()
@@ -96,7 +98,7 @@ class EnergyObjective:
                 f"got {thetas.shape}"
             )
         self.evaluations += thetas.shape[0]
-        states = self._batched_simulator.run_flat(self.ansatz.program, thetas)
+        states = self._batched_simulator.run_flat(self._plan, thetas)
         if self.uses_dense_hamiltonian:
             dense = self._dense_matrix()
             # Per-element matvec keeps the reduction order of the serial
@@ -110,7 +112,7 @@ class EnergyObjective:
     def batch_statevectors(self, thetas: np.ndarray) -> np.ndarray:
         """Flat ``(B, 2**n)`` statevectors for a ``(B, P)`` batch."""
         thetas = np.asarray(thetas, dtype=float)
-        return self._batched_simulator.run_flat(self.ansatz.program, thetas)
+        return self._batched_simulator.run_flat(self._plan, thetas)
 
     def __call__(self, theta: np.ndarray) -> float:
         return self.ideal_energy(theta)
@@ -118,15 +120,13 @@ class EnergyObjective:
     # Characteristics used by static-noise modelling -------------------------
 
     def gate_counts(self) -> tuple:
-        """(single-qubit, two-qubit) gate counts of the ansatz circuit."""
-        singles = 0
-        twos = 0
-        for op in self.ansatz.program.ops:
-            if len(op.qubits) == 2:
-                twos += 1
-            else:
-                singles += 1
-        return singles, twos
+        """(single-qubit, two-qubit) gate counts of the ansatz circuit.
+
+        Read from the plan's *pre-fusion* source counts, so static-noise
+        survival factors always see the physical circuit regardless of
+        how the execution schedule was fused.
+        """
+        return self._plan.source_gate_counts
 
     def mixed_state_energy(self) -> float:
         """Energy of the maximally mixed state (identity coefficient)."""

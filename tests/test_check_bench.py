@@ -17,12 +17,15 @@ check_bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(check_bench)
 
 
-def _payload(benchmarks, speedup=5.0):
+def _payload(benchmarks, speedup=5.0, compile_speedup=None):
+    derived = {check_bench.SPEEDUP_KEY: speedup}
+    if compile_speedup is not None:
+        derived[check_bench.COMPILE_SPEEDUP_KEY] = compile_speedup
     return {
         "schema": 1,
         "reference_benchmark": "ref",
         "benchmarks": benchmarks,
-        "derived": {check_bench.SPEEDUP_KEY: speedup},
+        "derived": derived,
     }
 
 
@@ -87,6 +90,27 @@ def test_dropped_benchmark_still_fails(tmp_path, capsys):
 def test_speedup_floor_still_gates(tmp_path, capsys):
     assert _run(tmp_path, _payload(BASE), _payload(BASE, speedup=1.5)) == 1
     assert "below floor" in capsys.readouterr().out
+
+
+def test_compile_once_floor_gates_when_present(tmp_path, capsys):
+    base = _payload(BASE, compile_speedup=3.0)
+    good = _payload(BASE, compile_speedup=2.0)
+    bad = _payload(BASE, compile_speedup=1.2)
+    assert _run(tmp_path, base, good) == 0
+    assert _run(tmp_path, base, bad) == 1
+    assert "compile-once speedup" in capsys.readouterr().out
+
+
+def test_compile_once_key_optional_for_old_baselines(tmp_path):
+    # A pre-compiler baseline has no compile-once family: the current
+    # file's floor still applies, the baseline's absence does not fail.
+    old_base = _payload(BASE)
+    assert _run(tmp_path, old_base, _payload(BASE, compile_speedup=2.5)) == 0
+    # And a current file without the key is fine against an old baseline...
+    assert _run(tmp_path, old_base, _payload(BASE)) == 0
+    # ...but not against a baseline that had it (family disappeared).
+    new_base = _payload(BASE, compile_speedup=2.5)
+    assert _run(tmp_path, new_base, _payload(BASE)) == 1
 
 
 @pytest.mark.parametrize("slack", ["0.25", "5.0"])

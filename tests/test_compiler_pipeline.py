@@ -1,0 +1,174 @@
+"""The staged pipeline and the device-aware ``transpile_then_compile``.
+
+Covers pass composition, the single device entry point (layout -> routing
+-> native basis -> lowering -> fusion in one cached call), and the counts
+backend consuming it with permutation-corrected logical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.counts import CountsBackend
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import ghz_circuit, random_circuit
+from repro.compiler import (
+    CompilationUnit,
+    FuseStaticGates,
+    LowerToPlan,
+    Pipeline,
+    clear_plan_cache,
+    compile_plan,
+    plan_cache_stats,
+    transpile_then_compile,
+)
+from repro.devices.coupling import line_map
+from repro.operators.pauli_sum import PauliSum
+from repro.simulator.statevector import simulate_statevector
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+# -- pipeline framework ----------------------------------------------------------
+
+
+def test_pipeline_requires_lowering_pass():
+    with pytest.raises(RuntimeError, match="produced no plan"):
+        Pipeline([], name="empty").compile(ghz_circuit(2))
+
+
+def test_custom_pipeline_composition():
+    pipeline = Pipeline([LowerToPlan(), FuseStaticGates()], name="custom")
+    plan = pipeline.compile(ghz_circuit(3))
+    assert plan.fused
+    assert "custom" in repr(pipeline)
+
+
+def test_device_passes_require_coupling():
+    from repro.compiler import RouteCircuit, SelectLayout
+
+    unit = CompilationUnit(circuit=ghz_circuit(2))
+    with pytest.raises(ValueError, match="coupling"):
+        SelectLayout().run(unit)
+    with pytest.raises(ValueError, match="coupling"):
+        RouteCircuit().run(unit)
+
+
+def test_select_layout_rejects_unknown_method():
+    from repro.compiler import SelectLayout
+
+    with pytest.raises(ValueError, match="unknown layout method"):
+        SelectLayout("magic")
+
+
+# -- transpile_then_compile ------------------------------------------------------
+
+
+def _logical_statevector_probs(compiled, num_logical):
+    """Outcome probabilities of the compiled plan, read back logically."""
+    sv = simulate_statevector(compiled.plan)
+    probs = np.abs(sv) ** 2
+    return CountsBackend._logical_probabilities(probs, compiled, num_logical)
+
+
+@pytest.mark.parametrize("seed", [0, 4, 9])
+def test_device_compilation_preserves_distribution(seed):
+    circuit = random_circuit(3, 25, seed=seed)
+    compiled = transpile_then_compile(circuit, line_map(4))
+    native_names = set(compiled.circuit.count_ops()) - {"barrier"}
+    assert native_names <= {"rz", "sx", "x", "cx"}
+    expected = np.abs(simulate_statevector(circuit)) ** 2
+    observed = _logical_statevector_probs(compiled, circuit.num_qubits)
+    np.testing.assert_allclose(observed, expected, atol=1e-9)
+
+
+def test_device_compilation_is_cached():
+    circuit = ghz_circuit(3)
+    first = transpile_then_compile(circuit, line_map(3))
+    hits = plan_cache_stats()["hits"]
+    second = transpile_then_compile(circuit, line_map(3))
+    assert first is second
+    assert plan_cache_stats()["hits"] == hits + 1
+    # A different coupling map is a different cache entry.
+    third = transpile_then_compile(circuit, line_map(4))
+    assert third is not first
+
+
+def test_device_compilation_accepts_device_model_and_trims():
+    from repro.devices.ibmq_fake import get_device
+
+    device = get_device("jakarta", calibration_seed=3)
+    circuit = ghz_circuit(3)
+    compiled = transpile_then_compile(circuit, device)
+    # Idle device wires are trimmed: a swap-free 3q chain stays 3 wide.
+    assert compiled.circuit.num_qubits == 3
+    assert compiled.plan.num_qubits == 3
+    assert sorted(compiled.logical_positions) == [0, 1, 2]
+
+
+def test_wide_device_counts_backend_stays_small():
+    # A 27-qubit machine must not cost a 2**54-entry density matrix: the
+    # trim pass keeps execution at the live-qubit width.
+    from repro.devices.ibmq_fake import get_device
+
+    device = get_device("toronto", calibration_seed=1)
+    compiled = transpile_then_compile(ghz_circuit(3), device)
+    assert compiled.circuit.num_qubits <= 5
+    backend = CountsBackend(seed=2, device=device)
+    probs = backend.probabilities(ghz_circuit(3))
+    assert probs.shape == (8,)
+    np.testing.assert_allclose(probs[0] + probs[-1], 1.0, atol=1e-9)
+
+
+def test_swap_bookkeeping_exposed():
+    # Forcing a far CX on a line: routing must insert swaps and report them.
+    circuit = QuantumCircuit(4)
+    circuit.h(0)
+    circuit.cx(0, 3)
+    compiled = transpile_then_compile(
+        circuit, line_map(4), layout_method="trivial"
+    )
+    assert compiled.num_swaps > 0
+    assert compiled.final_permutation != {q: q for q in range(4)}
+
+
+# -- counts backend through the device path --------------------------------------
+
+
+def test_counts_backend_device_probabilities_logical():
+    backend = CountsBackend(seed=5, device=line_map(4))
+    circuit = ghz_circuit(3)
+    probs = backend.probabilities(circuit)
+    assert probs.shape == (8,)
+    np.testing.assert_allclose(probs[0], 0.5, atol=1e-9)
+    np.testing.assert_allclose(probs[-1], 0.5, atol=1e-9)
+
+
+def test_counts_backend_device_energy_matches_plain():
+    # Noise-free: the device-lowered estimate must agree with the direct
+    # estimate up to shot noise.
+    hamiltonian = PauliSum(
+        [(1.0, "ZZI"), (1.0, "IZZ"), (0.7, "XII"), (-0.4, "IIX")]
+    )
+    circuit = random_circuit(3, 15, seed=21)
+    plain = CountsBackend(seed=3)
+    routed = CountsBackend(seed=3, device=line_map(4), layout_method="trivial")
+    e_plain = plain.estimate_energy(circuit, hamiltonian, shots_per_group=200_000)
+    e_routed = routed.estimate_energy(circuit, hamiltonian, shots_per_group=200_000)
+    assert e_routed == pytest.approx(e_plain, abs=0.05)
+
+
+def test_compile_plan_rejects_foreign_parameters():
+    from repro.circuits.parameter import Parameter
+
+    theta, other = Parameter("theta"), Parameter("other")
+    qc = QuantumCircuit(1)
+    qc.ry(theta, 0)
+    with pytest.raises(KeyError, match="missing from parameter ordering"):
+        compile_plan(qc, (other,))

@@ -5,8 +5,12 @@ Compares a freshly generated benchmark file against the committed
 baseline. Absolute round times are meaningless across runner hardware,
 so two machine-independent checks gate the build:
 
-1. the batch-of-8 speedup over 8 serial evaluations must stay above a
-   floor (default 3x — the repo's headline batching win);
+1. derived speedup ratios must stay above their floors: the batch-of-8
+   speedup over 8 serial evaluations (default 3x — the repo's headline
+   batching win, always required) and the compile-once-run-many speedup
+   over the recompile-per-run path (default 1.5x — the plan-cache win;
+   gated whenever either file carries the key, so pre-compiler baselines
+   still compare cleanly);
 2. each benchmark's time *normalized by its in-run reference benchmark*
    (its ``reference`` field — a benchmark from the same cost family,
    defaulting to the file's ``reference_benchmark``) must not regress
@@ -38,6 +42,7 @@ import sys
 from pathlib import Path
 
 SPEEDUP_KEY = "batch8_speedup_vs_serial8"
+COMPILE_SPEEDUP_KEY = "compile_once_speedup_vs_recompile"
 
 
 def load(path: Path) -> dict:
@@ -90,6 +95,12 @@ def main(argv=None) -> int:
         default=3.0,
         help="floor for the batch-of-8 vs. 8-serial speedup",
     )
+    parser.add_argument(
+        "--min-compile-once-speedup",
+        type=float,
+        default=1.5,
+        help="floor for the compile-once-run-many vs. recompile speedup",
+    )
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
@@ -112,6 +123,28 @@ def main(argv=None) -> int:
             failures.append(
                 f"batch speedup {speedup:.2f}x below floor "
                 f"{args.min_speedup:.2f}x"
+            )
+
+    # The compile-once cost family gates once it exists on either side:
+    # a current file missing a key the baseline had means the benchmark
+    # family disappeared; a baseline without it (pre-compiler snapshot)
+    # just means the floor starts applying with this run.
+    compile_speedup = current.get("derived", {}).get(COMPILE_SPEEDUP_KEY)
+    baseline_has_compile = COMPILE_SPEEDUP_KEY in baseline.get("derived", {})
+    if compile_speedup is None:
+        if baseline_has_compile:
+            failures.append(f"current file lacks derived.{COMPILE_SPEEDUP_KEY}")
+    else:
+        floor = args.min_compile_once_speedup
+        status = "ok" if compile_speedup >= floor else "FAIL"
+        print(
+            f"{COMPILE_SPEEDUP_KEY}: {compile_speedup:.2f}x "
+            f"(floor {floor:.2f}x) [{status}]"
+        )
+        if compile_speedup < floor:
+            failures.append(
+                f"compile-once speedup {compile_speedup:.2f}x below floor "
+                f"{floor:.2f}x"
             )
 
     print("\nnormalized vs each benchmark's reference (current / baseline):")
