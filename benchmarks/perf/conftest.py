@@ -84,6 +84,7 @@ _SPEEDUP_RATIOS = (
         "compile_once_run_many_8q",
     ),
     ("fusion_speedup_8q", "unfused_run_8q", "fused_run_8q"),
+    ("noisy_engine_speedup_8q", "noisy_counts_walk_8q", "noisy_counts_8q"),
 )
 
 

@@ -24,8 +24,11 @@ Quickstart::
 
 The batched evaluation engine (``BatchedStatevectorSimulator``,
 ``EnergyObjective.batch_energies``, ``PopulationVQE``), the unified
-compiler pipeline (``compile_plan``, ``transpile_then_compile``,
-``GatePlan``; see :mod:`repro.compiler`) and the fleet scheduling service
+compiler pipeline (``compile_plan``, ``compile_noise_plan``,
+``transpile_then_compile``, ``GatePlan``, ``NoisePlan``; see
+:mod:`repro.compiler`), the noisy-execution engines
+(``DensityMatrixSimulator``, ``TrajectorySimulator``; knob
+``REPRO_NOISY_ENGINE=dm|traj``) and the fleet scheduling service
 (``FleetExecutor``, ``FleetService``, ``DeviceFleet``; see
 :mod:`repro.fleet`) are exported here too, so workers and downstream
 users never need to reach into submodules.
@@ -43,11 +46,18 @@ from repro.backends import (
 from repro.circuits import Parameter, ParameterVector, QuantumCircuit
 from repro.compiler import (
     GatePlan,
+    NoisePlan,
+    compile_noise_plan,
     compile_plan,
     plan_cache_stats,
     transpile_then_compile,
 )
-from repro.simulator import BatchedStatevectorSimulator, simulate_statevectors
+from repro.simulator import (
+    BatchedStatevectorSimulator,
+    DensityMatrixSimulator,
+    TrajectorySimulator,
+    simulate_statevectors,
+)
 from repro.core import (
     GradientFaithfulPolicy,
     OnlinePercentileThreshold,
@@ -96,6 +106,8 @@ __all__ = [
     "ParameterVector",
     "QuantumCircuit",
     "GatePlan",
+    "NoisePlan",
+    "compile_noise_plan",
     "compile_plan",
     "plan_cache_stats",
     "transpile_then_compile",
@@ -128,6 +140,8 @@ __all__ = [
     "RunSpec",
     "SerialExecutor",
     "BatchedStatevectorSimulator",
+    "DensityMatrixSimulator",
+    "TrajectorySimulator",
     "simulate_statevectors",
     "DeviceFleet",
     "FleetExecutor",

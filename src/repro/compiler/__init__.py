@@ -7,6 +7,10 @@ Every execution layer in the repo compiles circuits through this package:
 * :func:`transpile_then_compile` — the device-aware entry point (layout,
   routing, native-basis translation absorbed from ``repro.transpiler`` as
   pipeline passes, then lowering + fusion);
+* :func:`compile_noise_plan` — (circuit, noise model) ->
+  :class:`NoisePlan`, the channel-aware IR of the noisy-execution engine
+  (fusion between channel sites, unitary absorption, pre-stacked Kraus +
+  per-site superoperators), cached under circuit + noise fingerprints;
 * :class:`Pipeline` / the pass classes — for building custom pipelines.
 
 The workload shape this serves is the paper's: thousands of re-evaluations
@@ -34,6 +38,14 @@ from repro.compiler.cache import (
     plan_cache_stats,
 )
 from repro.compiler.ir import GatePlan, PlanOp, lower_program
+from repro.compiler.noise_plan import (
+    ChannelOp,
+    NoisePlan,
+    compile_noise_plan,
+    fuse_noise_plan,
+    lower_noise_plan,
+    noise_fingerprint,
+)
 from repro.compiler.passes import (
     CompilationUnit,
     FuseStaticGates,
@@ -63,6 +75,12 @@ __all__ = [
     "GatePlan",
     "PlanOp",
     "lower_program",
+    "ChannelOp",
+    "NoisePlan",
+    "compile_noise_plan",
+    "fuse_noise_plan",
+    "lower_noise_plan",
+    "noise_fingerprint",
     "CompilationUnit",
     "FuseStaticGates",
     "LowerToPlan",

@@ -60,6 +60,21 @@ class NoiseModel:
         else:
             yield depolarizing_kraus(probability, 2), qubits
 
+    def fingerprint(self) -> str:
+        """Content fingerprint for noise-plan caching.
+
+        Two models with equal error strengths and overrides share cached
+        :class:`~repro.compiler.noise_plan.NoisePlan` entries.
+        """
+        overrides = ",".join(
+            f"{name}={self.gate_overrides[name]!r}"
+            for name in sorted(self.gate_overrides)
+        )
+        return (
+            f"dep:{self.single_qubit_error!r}:{self.two_qubit_error!r}"
+            f":[{overrides}]"
+        )
+
     # -- global depolarizing approximation ------------------------------------
 
     def survival_factor(self, circuit: QuantumCircuit) -> float:

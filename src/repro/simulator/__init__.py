@@ -1,9 +1,12 @@
 """Quantum state simulation engines.
 
-Two engines are provided: a statevector simulator (pure states, fast path
-for VQE objective evaluation) and a density-matrix simulator (mixed states,
-supports Kraus noise channels; used to validate the energy-level noise
-approximations of the transient backend).
+Four engines are provided: a statevector simulator (pure states, fast
+path for VQE objective evaluation), its batched sibling (leading batch
+axis over parameter sets), a density-matrix simulator (mixed states,
+Kraus noise channels compiled to per-site superoperators; validates the
+energy-level noise approximations of the transient backend), and a
+batched quantum-trajectory simulator (stochastic channel unraveling over
+an ensemble of pure states, sharing the batched gate kernels).
 """
 
 from repro.simulator.statevector import StatevectorSimulator, simulate_statevector
@@ -13,8 +16,10 @@ from repro.simulator.batched import (
     simulate_statevectors,
 )
 from repro.simulator.density_matrix import DensityMatrixSimulator
+from repro.simulator.trajectory import TrajectorySimulator, unravel_channel_batched
 from repro.simulator.sampling import (
     counts_from_probabilities,
+    counts_from_trajectory_rows,
     sample_counts,
     sample_plan,
 )
@@ -31,7 +36,10 @@ __all__ = [
     "apply_gate_batched",
     "simulate_statevectors",
     "DensityMatrixSimulator",
+    "TrajectorySimulator",
+    "unravel_channel_batched",
     "counts_from_probabilities",
+    "counts_from_trajectory_rows",
     "sample_counts",
     "sample_plan",
     "expectation_from_counts",

@@ -4,17 +4,28 @@ The state is a rank-``2n`` tensor: axes ``0..n-1`` are ket indices and axes
 ``n..2n-1`` the corresponding bra indices. Gate application conjugates by
 the unitary; channels apply a sum over Kraus operators. Intended for small
 systems (n <= ~10), which covers every workload in the paper.
+
+Noisy execution consumes the compiler's channel-aware
+:class:`~repro.compiler.noise_plan.NoisePlan` IR: gate runs between
+channel sites arrive pre-fused, adjacent unitaries arrive absorbed into
+the channel Kraus stacks, and each channel site carries a pre-compiled
+superoperator so applying it is ONE tensordot regardless of how many
+Kraus operators the channel has (a two-qubit depolarizing channel has 16;
+the historic loop paid 32 full-state contractions per site — it survives
+as :meth:`~DensityMatrixSimulator.apply_kraus_loop`, the parity
+reference).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import GATES
-from repro.compiler import GatePlan, compile_plan
+from repro.compiler import GatePlan, NoisePlan, compile_noise_plan, compile_plan
+from repro.compiler.noise_plan import kraus_superoperator
 
 
 class DensityMatrixSimulator:
@@ -36,6 +47,13 @@ class DensityMatrixSimulator:
     def to_matrix(self, rho: np.ndarray) -> np.ndarray:
         dim = 2**self.num_qubits
         return rho.reshape(dim, dim)
+
+    def _as_tensor(self, initial_state: Optional[np.ndarray]) -> np.ndarray:
+        if initial_state is None:
+            return self.zero_state()
+        return np.array(initial_state, dtype=complex).reshape(
+            (2,) * (2 * self.num_qubits)
+        )
 
     # -- evolution ---------------------------------------------------------------
 
@@ -63,13 +81,60 @@ class DensityMatrixSimulator:
         rho = self._apply_operator_left(rho, matrix, qubits)
         return self._apply_operator_right(rho, matrix, qubits)
 
+    def apply_superop(
+        self, rho: np.ndarray, superop: np.ndarray, qubits: Tuple[int, ...]
+    ) -> np.ndarray:
+        """Apply a pre-compiled ``(4**k, 4**k)`` channel superoperator.
+
+        The superoperator acts on the site's combined ket/bra axes, so a
+        whole channel — however many Kraus operators it folded in — is
+        ONE tensordot over ``2k`` tensor axes, the same cost shape as a
+        ``2k``-qubit gate on a statevector.
+        """
+        k = len(qubits)
+        axes = tuple(qubits) + tuple(self.num_qubits + q for q in qubits)
+        tensor = superop.reshape((2,) * (4 * k))
+        rho = np.tensordot(
+            tensor, rho, axes=(tuple(range(2 * k, 4 * k)), axes)
+        )
+        return np.moveaxis(rho, tuple(range(2 * k)), axes)
+
     def apply_kraus(
+        self,
+        rho: np.ndarray,
+        kraus_ops: Union[np.ndarray, Iterable[np.ndarray]],
+        qubits: Tuple[int, ...],
+    ) -> np.ndarray:
+        """Apply a channel given by Kraus operators on ``qubits``.
+
+        ``kraus_ops`` may be a pre-stacked ``(K, 2**k, 2**k)`` array (the
+        :class:`~repro.compiler.noise_plan.ChannelOp` form) or any
+        iterable of matrices. The stack is folded into its superoperator
+        with one stacked tensordot + operator-axis sum
+        (:func:`~repro.compiler.noise_plan.kraus_superoperator`) and
+        applied as a single contraction — replacing the historic Python
+        loop of ``2K`` full-state contractions per channel.
+        """
+        if isinstance(kraus_ops, np.ndarray):
+            kraus = np.asarray(kraus_ops, dtype=complex)
+        else:
+            kraus = np.asarray(list(kraus_ops), dtype=complex)
+        if kraus.ndim != 3 or kraus.shape[0] == 0:
+            raise ValueError("Kraus operators must stack to a (K, d, d) array")
+        return self.apply_superop(rho, kraus_superoperator(kraus), qubits)
+
+    def apply_kraus_loop(
         self,
         rho: np.ndarray,
         kraus_ops: Iterable[np.ndarray],
         qubits: Tuple[int, ...],
     ) -> np.ndarray:
-        """Apply a channel given by Kraus operators on ``qubits``."""
+        """Explicit per-operator channel application.
+
+        The pre-vectorization reference implementation, kept for the
+        stacked-vs-loop parity contract (``<= 1e-12``; see
+        ``tests/test_noise_plan.py``) and the perf baseline.
+        """
         result = None
         for op in kraus_ops:
             term = self._apply_operator_left(rho, op, qubits)
@@ -87,17 +152,36 @@ class DensityMatrixSimulator:
     ) -> np.ndarray:
         """Unitary evolution of a compiled gate plan (no noise channels).
 
-        Noise models attach Kraus channels per *physical* gate, which a
-        fused plan no longer exposes — noisy execution stays on the
-        per-instruction :meth:`run_circuit` path.
+        Noisy execution goes through :meth:`run_noise_plan`, whose
+        channel-aware IR keeps the per-physical-gate channel sites that a
+        plain fused plan no longer exposes.
         """
         if plan.num_qubits != self.num_qubits:
             raise ValueError("plan qubit count mismatch")
-        rho = self.zero_state() if initial_state is None else np.array(
-            initial_state, dtype=complex
-        ).reshape((2,) * (2 * self.num_qubits))
+        rho = self._as_tensor(initial_state)
         for qubits, matrix in plan.op_matrices(theta):
             rho = self.apply_unitary(rho, matrix, qubits)
+        return rho
+
+    def run_noise_plan(
+        self,
+        plan: NoisePlan,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Execute a channel-aware noise plan.
+
+        Unitary ops (pre-fused between channel sites) conjugate the
+        state; channel ops apply their pre-stacked Kraus array through
+        the vectorized :meth:`apply_kraus`.
+        """
+        if plan.num_qubits != self.num_qubits:
+            raise ValueError("plan qubit count mismatch")
+        rho = self._as_tensor(initial_state)
+        for op in plan.ops:
+            if op.matrix is not None:
+                rho = self.apply_unitary(rho, op.matrix, op.qubits)
+            else:
+                rho = self.apply_superop(rho, op.superop, op.qubits)
         return rho
 
     def run_circuit(
@@ -110,9 +194,10 @@ class DensityMatrixSimulator:
 
         ``noise_model`` follows the ``repro.noise.NoiseModel`` protocol:
         ``channels_for(gate_name, qubits)`` yields ``(kraus_ops, qubits)``
-        pairs applied after the ideal gate. Noise-free runs compile
-        through the shared plan cache (with fusion) instead of rebuilding
-        gate matrices per instruction.
+        pairs applied after the ideal gate. Both the noise-free and the
+        noisy path compile through the shared plan cache — noisy circuits
+        lower to a channel-aware :class:`~repro.compiler.NoisePlan` with
+        static-gate fusion *between* channel sites.
         """
         if circuit.num_parameters:
             raise ValueError("circuit has unbound parameters; bind it first")
@@ -120,18 +205,38 @@ class DensityMatrixSimulator:
             return self.run_plan(
                 compile_plan(circuit), np.empty(0), initial_state
             )
-        rho = self.zero_state() if initial_state is None else np.array(
-            initial_state, dtype=complex
-        ).reshape((2,) * (2 * self.num_qubits))
+        return self.run_noise_plan(
+            compile_noise_plan(circuit, noise_model), initial_state
+        )
+
+    def run_circuit_walk(
+        self,
+        circuit: QuantumCircuit,
+        noise_model=None,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The pre-plan per-instruction noisy walk (parity/perf reference).
+
+        Rebuilds each gate matrix and channel Kraus list per instruction
+        and applies channels through the explicit operator loop — exactly
+        the historic noisy ``run_circuit`` path. Kept as the reference
+        implementation the vectorized engine is benchmarked and
+        parity-tested against.
+        """
+        if circuit.num_parameters:
+            raise ValueError("circuit has unbound parameters; bind it first")
+        rho = self._as_tensor(initial_state)
         for inst in circuit:
             if inst.name == "barrier":
                 continue
             matrix = GATES[inst.name].matrix(tuple(float(p) for p in inst.params))
             rho = self.apply_unitary(rho, matrix, inst.qubits)
+            if noise_model is None:
+                continue
             for kraus_ops, qubits in noise_model.channels_for(
                 inst.name, inst.qubits
             ):
-                rho = self.apply_kraus(rho, kraus_ops, qubits)
+                rho = self.apply_kraus_loop(rho, kraus_ops, qubits)
         return rho
 
     # -- measurement ----------------------------------------------------------------

@@ -126,6 +126,21 @@ def test_counts_backend_energy_estimate():
     assert estimate == pytest.approx(exact, abs=0.02)
 
 
+def test_counts_backend_noise_model_swap_not_served_stale():
+    """Reassigning noise_model must not serve the old model's plan."""
+    ansatz = RealAmplitudes(2, reps=1)
+    circuit = ansatz.bind(np.array([0.4, -0.2, 0.1, 0.3]))
+    backend = CountsBackend(noise_model=NoiseModel(0.2, 0.2))
+    noisy = backend.probabilities(circuit)
+    backend.noise_model = NoiseModel.ideal()
+    clean = backend.probabilities(circuit)
+    reference = CountsBackend(noise_model=NoiseModel.ideal()).probabilities(
+        circuit
+    )
+    assert not np.allclose(noisy, clean)
+    np.testing.assert_allclose(clean, reference, atol=1e-12)
+
+
 def test_counts_backend_with_mitigated_readout():
     ham = tfim_hamiltonian(2)
     ansatz = RealAmplitudes(2, reps=1)

@@ -1,0 +1,173 @@
+"""Batched quantum-trajectory simulation: unraveling, convergence, RNG."""
+
+import numpy as np
+import pytest
+
+from repro.ansatz.real_amplitudes import RealAmplitudes
+from repro.backends.counts import CountsBackend
+from repro.circuits.library import bell_pair, random_circuit
+from repro.compiler import compile_noise_plan
+from repro.hamiltonians.tfim import tfim_hamiltonian
+from repro.noise.channels import bit_flip_kraus, depolarizing_kraus
+from repro.noise.noise_model import NoiseModel
+from repro.simulator.density_matrix import DensityMatrixSimulator
+from repro.simulator.statevector import simulate_statevector
+from repro.simulator.trajectory import (
+    TrajectorySimulator,
+    unravel_channel_batched,
+)
+
+
+def _noisy_plan(num_qubits=3, depth=18, seed=11, p1=0.01, p2=0.05):
+    circuit = random_circuit(num_qubits, depth, seed=seed)
+    return circuit, compile_noise_plan(
+        circuit, NoiseModel(p1, p2), cache=False
+    )
+
+
+def test_unravel_preserves_norm_and_collapses_to_kraus_branch():
+    rng = np.random.default_rng(0)
+    sim = TrajectorySimulator(2)
+    states = sim.zero_states(64)
+    kraus = np.asarray(bit_flip_kraus(0.5))
+    out = unravel_channel_batched(states, kraus, (0,), rng)
+    flat = out.reshape(64, -1)
+    np.testing.assert_allclose(np.linalg.norm(flat, axis=1), 1.0, atol=1e-12)
+    # every trajectory landed on |00> (no flip) or |10> (flip)
+    populated = {int(np.argmax(np.abs(row))) for row in flat}
+    assert populated == {0, 2}
+    # roughly half flip at p = 0.5
+    flips = sum(int(np.argmax(np.abs(row))) == 2 for row in flat)
+    assert 10 < flips < 54
+
+
+def test_unravel_branch_frequencies_match_born_probabilities():
+    rng = np.random.default_rng(1)
+    sim = TrajectorySimulator(1)
+    states = sim.zero_states(20_000)
+    p = 0.3
+    kraus = np.asarray(bit_flip_kraus(p))
+    out = unravel_channel_batched(states, kraus, (0,), rng)
+    flipped = np.abs(out.reshape(-1, 2)[:, 1]) > 0.5
+    assert flipped.mean() == pytest.approx(p, abs=0.02)
+
+
+def test_trajectory_statistical_convergence_to_density_matrix():
+    """Energy estimates agree with the dm engine within sampling error.
+
+    The trajectory mean converges at O(1/sqrt(B)); with B growing the
+    error against the exact density-matrix energy must shrink inside a
+    widening-confidence envelope.
+    """
+    circuit, plan = _noisy_plan()
+    ham = tfim_hamiltonian(3)
+    dm = DensityMatrixSimulator(3)
+    exact = dm.expectation(dm.run_noise_plan(plan), ham.to_matrix())
+
+    sim = TrajectorySimulator(3, seed=7)
+    states = sim.run_noise_plan(plan, 4096)
+    energies = ham.batch_expectations(states.reshape(4096, -1))
+    spread = energies.std(ddof=1)
+    for batch in (256, 1024, 4096):
+        estimate = energies[:batch].mean()
+        margin = 5.0 * spread / np.sqrt(batch)
+        assert abs(estimate - exact) < margin
+
+
+def test_trajectory_probabilities_converge():
+    circuit, plan = _noisy_plan(seed=3)
+    dm = DensityMatrixSimulator(3)
+    exact = dm.probabilities(dm.run_noise_plan(plan))
+    sim = TrajectorySimulator(3, seed=5)
+    estimate = sim.probabilities(plan, 8192)
+    assert np.abs(estimate - exact).sum() < 0.05
+
+
+def test_noiseless_plan_trajectories_are_deterministic():
+    circuit = bell_pair()
+    plan = compile_noise_plan(circuit, NoiseModel.ideal(), cache=False)
+    assert plan.num_channels == 0
+    sim = TrajectorySimulator(2, seed=9)
+    states = sim.run_noise_plan(plan, 8)
+    reference = simulate_statevector(circuit)
+    for row in states.reshape(8, -1):
+        np.testing.assert_allclose(row, reference, atol=1e-12)
+
+
+def test_trajectory_rng_reproducible_and_stream_stable():
+    _, plan = _noisy_plan(seed=21)
+    a = TrajectorySimulator(3, seed=13).run_noise_plan(plan, 32)
+    b = TrajectorySimulator(3, seed=13).run_noise_plan(plan, 32)
+    np.testing.assert_array_equal(a, b)
+    # one uniform batch per channel site: stream position after a run
+    # depends only on the plan, not the branches taken
+    rng1 = np.random.default_rng(13)
+    TrajectorySimulator(3).run_noise_plan(plan, 32, rng=rng1)
+    rng2 = np.random.default_rng(13)
+    for _ in range(plan.num_channels):
+        rng2.random(32)
+    assert rng1.random() == rng2.random()
+
+
+def test_trajectory_qubit_mismatch_rejected():
+    _, plan = _noisy_plan()
+    with pytest.raises(ValueError):
+        TrajectorySimulator(4).run_noise_plan(plan, 8)
+    with pytest.raises(ValueError):
+        TrajectorySimulator(3).zero_states(0)
+
+
+def test_counts_backend_traj_engine_energy_matches_dm():
+    nm = NoiseModel(0.004, 0.03)
+    ansatz = RealAmplitudes(3, reps=1)
+    theta = np.linspace(-0.8, 0.9, ansatz.num_parameters)
+    circuit = ansatz.bind(theta)
+    ham = tfim_hamiltonian(3)
+    dm_energy = CountsBackend(noise_model=nm, seed=5).estimate_energy(
+        circuit, ham, shots_per_group=200_000
+    )
+    traj_energy = CountsBackend(
+        noise_model=nm, seed=5, engine="traj", trajectories=2048
+    ).estimate_energy(circuit, ham, shots_per_group=200_000)
+    assert traj_energy == pytest.approx(dm_energy, abs=0.08)
+
+
+def test_counts_backend_traj_shots_batched_sampling():
+    nm = NoiseModel(0.01, 0.05)
+    circuit = bell_pair()
+    backend = CountsBackend(
+        noise_model=nm, seed=2, engine="traj", trajectories=64
+    )
+    counts = backend.run(circuit, shots=999)
+    assert sum(counts.values()) == 999
+    # Bell statistics survive the unraveling: 00/11 dominate
+    correlated = counts.get("00", 0) + counts.get("11", 0)
+    assert correlated > 900
+
+
+def test_counts_backend_invalid_engine_rejected():
+    with pytest.raises(ValueError):
+        CountsBackend(engine="nope")
+
+
+def test_counts_backend_engine_env_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_NOISY_ENGINE", "traj")
+    assert CountsBackend().engine == "traj"
+    monkeypatch.setenv("REPRO_NOISY_ENGINE", "dm")
+    assert CountsBackend().engine == "dm"
+    monkeypatch.delenv("REPRO_NOISY_ENGINE")
+    assert CountsBackend().engine == "dm"
+    monkeypatch.setenv("REPRO_NOISY_ENGINE", "bogus")
+    with pytest.raises(ValueError):
+        CountsBackend().engine
+    monkeypatch.delenv("REPRO_NOISY_ENGINE")
+    monkeypatch.setenv("REPRO_TRAJECTORIES", "17")
+    assert CountsBackend().trajectories == 17
+
+
+def test_unravel_channel_rejects_dead_batch():
+    rng = np.random.default_rng(0)
+    states = np.zeros((4, 2, 2), dtype=complex)  # zero norm everywhere
+    kraus = np.asarray(depolarizing_kraus(0.1, 1))
+    with pytest.raises(ValueError):
+        unravel_channel_batched(states, kraus, (0,), rng)

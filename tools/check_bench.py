@@ -7,10 +7,12 @@ so two machine-independent checks gate the build:
 
 1. derived speedup ratios must stay above their floors: the batch-of-8
    speedup over 8 serial evaluations (default 3x — the repo's headline
-   batching win, always required) and the compile-once-run-many speedup
-   over the recompile-per-run path (default 1.5x — the plan-cache win;
-   gated whenever either file carries the key, so pre-compiler baselines
-   still compare cleanly);
+   batching win, always required), the compile-once-run-many speedup
+   over the recompile-per-run path (default 1.5x — the plan-cache win),
+   and the vectorized noisy-engine speedup over the per-instruction
+   Kraus walk (default 5x — the channel-aware fusion + superoperator
+   win). The latter two gate whenever either file carries the key, so
+   baselines predating a benchmark family still compare cleanly;
 2. each benchmark's time *normalized by its in-run reference benchmark*
    (its ``reference`` field — a benchmark from the same cost family,
    defaulting to the file's ``reference_benchmark``) must not regress
@@ -43,6 +45,7 @@ from pathlib import Path
 
 SPEEDUP_KEY = "batch8_speedup_vs_serial8"
 COMPILE_SPEEDUP_KEY = "compile_once_speedup_vs_recompile"
+NOISY_SPEEDUP_KEY = "noisy_engine_speedup_8q"
 
 
 def load(path: Path) -> dict:
@@ -101,6 +104,12 @@ def main(argv=None) -> int:
         default=1.5,
         help="floor for the compile-once-run-many vs. recompile speedup",
     )
+    parser.add_argument(
+        "--min-noisy-speedup",
+        type=float,
+        default=5.0,
+        help="floor for the noisy-engine vs. per-instruction-walk speedup",
+    )
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
@@ -125,26 +134,25 @@ def main(argv=None) -> int:
                 f"{args.min_speedup:.2f}x"
             )
 
-    # The compile-once cost family gates once it exists on either side:
-    # a current file missing a key the baseline had means the benchmark
-    # family disappeared; a baseline without it (pre-compiler snapshot)
-    # just means the floor starts applying with this run.
-    compile_speedup = current.get("derived", {}).get(COMPILE_SPEEDUP_KEY)
-    baseline_has_compile = COMPILE_SPEEDUP_KEY in baseline.get("derived", {})
-    if compile_speedup is None:
-        if baseline_has_compile:
-            failures.append(f"current file lacks derived.{COMPILE_SPEEDUP_KEY}")
-    else:
-        floor = args.min_compile_once_speedup
-        status = "ok" if compile_speedup >= floor else "FAIL"
-        print(
-            f"{COMPILE_SPEEDUP_KEY}: {compile_speedup:.2f}x "
-            f"(floor {floor:.2f}x) [{status}]"
-        )
-        if compile_speedup < floor:
+    # These cost families gate once they exist on either side: a current
+    # file missing a key the baseline had means the benchmark family
+    # disappeared; a baseline without it (a snapshot predating the
+    # family) just means the floor starts applying with this run.
+    gated_families = (
+        (COMPILE_SPEEDUP_KEY, args.min_compile_once_speedup, "compile-once"),
+        (NOISY_SPEEDUP_KEY, args.min_noisy_speedup, "noisy-engine"),
+    )
+    for key, floor, label in gated_families:
+        speedup = current.get("derived", {}).get(key)
+        if speedup is None:
+            if key in baseline.get("derived", {}):
+                failures.append(f"current file lacks derived.{key}")
+            continue
+        status = "ok" if speedup >= floor else "FAIL"
+        print(f"{key}: {speedup:.2f}x (floor {floor:.2f}x) [{status}]")
+        if speedup < floor:
             failures.append(
-                f"compile-once speedup {compile_speedup:.2f}x below floor "
-                f"{floor:.2f}x"
+                f"{label} speedup {speedup:.2f}x below floor {floor:.2f}x"
             )
 
     print("\nnormalized vs each benchmark's reference (current / baseline):")
