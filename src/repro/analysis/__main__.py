@@ -1,0 +1,13 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:  # e.g. `... codes | head`
+        sys.stderr.close()
+        code = 0
+    sys.exit(code)

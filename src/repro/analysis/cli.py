@@ -1,0 +1,150 @@
+"""``python -m repro.analysis`` — the static-analysis command line.
+
+Subcommands:
+
+* ``lint <paths...>`` — run the Tier-2 determinism/concurrency linter
+  over files or directories (``src/`` in CI);
+* ``verify`` — compile circuits and run the Tier-1 IR verifiers;
+  ``--all-apps`` sweeps every Table-1 registry app through symbolic,
+  device-routed and noisy compilation (with and without a noise model);
+* ``codes`` — print the RPR diagnostic-code table.
+
+Exit status is non-zero when any error-severity diagnostic fires (or,
+with ``--fail-on warning``, any warning).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Severity,
+    render_code_table,
+)
+from repro.analysis.lint import lint_paths
+from repro.analysis.verify import (
+    verify_circuit,
+    verify_device_compilation,
+    verify_gate_plan,
+    verify_noise_plan,
+)
+
+
+def _verify_app(app_name: str, *, with_noise: bool, report: AnalysisReport) -> None:
+    """Compile one registry app every way the runtime does, verifying each."""
+    import numpy as np
+
+    from repro.compiler import (
+        compile_noise_plan,
+        compile_plan,
+        transpile_then_compile,
+    )
+    from repro.experiments.registry import get_app
+
+    app = get_app(app_name)
+    ansatz = app.build_ansatz()
+    circuit = ansatz.circuit
+    verify_circuit(circuit, report=report)
+
+    # Symbolic plan — the VQE hot path's execution form.
+    plan = compile_plan(circuit, ansatz.parameters)
+    verify_gate_plan(plan, circuit, ansatz.parameters, report=report)
+
+    # Device-routed plan — layout, routing, native basis.
+    bound = circuit.bind(np.zeros(ansatz.num_parameters))
+    device = app.build_device()
+    compilation = transpile_then_compile(bound, device)
+    verify_device_compilation(compilation, device, report=report)
+
+    if with_noise:
+        model = device.noise_model()
+        noise_plan = compile_noise_plan(bound, model)
+        verify_noise_plan(noise_plan, bound, model, report=report)
+
+
+def run_verify(args: argparse.Namespace) -> AnalysisReport:
+    from repro.experiments.registry import app_names
+
+    report = AnalysisReport()
+    apps: List[str] = list(args.app or [])
+    if args.all_apps or not apps:
+        apps = app_names()
+    for name in apps:
+        _verify_app(name, with_noise=not args.no_noise, report=report)
+    return report
+
+
+def run_lint(args: argparse.Namespace) -> AnalysisReport:
+    return lint_paths(args.paths)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Plan verifier + determinism linter",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning"),
+        default="error",
+        help="lowest severity that makes the exit status non-zero",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser(
+        "lint", help="run the source-level determinism/concurrency linter"
+    )
+    lint.add_argument("paths", nargs="+", help="files or directories to lint")
+
+    verify = sub.add_parser(
+        "verify", help="compile circuits and run the IR verifiers"
+    )
+    verify.add_argument(
+        "--all-apps",
+        action="store_true",
+        help="sweep every Table-1 registry app (the default when no --app "
+        "is given)",
+    )
+    verify.add_argument(
+        "--app",
+        action="append",
+        help="verify one registry app (repeatable)",
+    )
+    verify.add_argument(
+        "--no-noise",
+        action="store_true",
+        help="skip the noise-plan (CPTP) verification leg",
+    )
+
+    sub.add_parser("codes", help="print the RPR diagnostic-code table")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "codes":
+        print(render_code_table())
+        return 0
+
+    report = run_lint(args) if args.command == "lint" else run_verify(args)
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+
+    threshold = Severity.WARNING if args.fail_on == "warning" else Severity.ERROR
+    failing = any(d.severity >= threshold for d in report)
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,472 @@
+"""Tier 2 — source-level determinism and concurrency lint.
+
+AST-based rules enforcing the seeding discipline the paper's
+reproduction depends on (every figure is only comparable because every
+run is bit-identically seeded):
+
+* **RPR101 / unseeded-rng** — ``np.random.default_rng()`` with no seed
+  (or an explicit ``None``) and any call into the legacy global
+  ``np.random.*`` API (``np.random.seed``, ``np.random.rand``, ...).
+* **RPR102 / rng-thread** — ``np.random.default_rng(seed)`` called
+  directly instead of threading the seed through
+  :func:`repro.utils.rng.ensure_rng` / ``derive_rng`` (the canonical
+  module ``utils/rng.py`` itself is exempt).
+* **RPR103 / set-iteration** — iterating a set (literal, comprehension,
+  ``set(...)``/``frozenset(...)`` call, or a local variable bound to
+  one) in a seed-critical module (``simulator/``, ``noise/``, ``vqa/``,
+  ``fleet/``): hash-order nondeterminism perturbs RNG consumption order.
+* **RPR104 / unlocked-cache** — a module-level mutable cache (a
+  dict/list/set whose name looks cache-like) mutated inside a function
+  without holding a lock: fleet worker threads share module state.
+
+Findings are silenced per line with ``# repro: allow-<slug>`` (on the
+offending line or the line directly above).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import AnalysisReport
+
+#: Module path fragments in which set iteration perturbs seeded streams.
+SEED_CRITICAL_PARTS = ("simulator", "noise", "vqa", "fleet")
+
+#: The canonical RNG module — the one place allowed to build generators.
+RNG_MODULE_SUFFIX = ("utils", "rng.py")
+
+#: np.random attributes that are types/constructors, not stream draws.
+_RANDOM_NON_DRAWS = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "RandomState",
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow-([a-z0-9-]+)")
+
+_CACHE_NAME_RE = re.compile(r"(?i)(cache|memo)")
+
+_LOCK_NAME_RE = re.compile(r"(?i)lock")
+
+#: Method calls that mutate a dict/list/set in place.
+_MUTATING_METHODS = {
+    "append", "add", "update", "setdefault", "pop", "popitem", "clear",
+    "extend", "insert", "remove", "discard",
+}
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> suppressed rule slugs (covers the next line too)."""
+    suppressed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            for match in _SUPPRESS_RE.finditer(token.string):
+                slug = match.group(1)
+                line = token.start[0]
+                suppressed.setdefault(line, set()).add(slug)
+                suppressed.setdefault(line + 1, set()).add(slug)
+    except tokenize.TokenError:
+        pass
+    return suppressed
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``np.random.default_rng`` -> its dotted source text, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class _FileLinter(ast.NodeVisitor):
+    """One file's worth of rule state."""
+
+    def __init__(
+        self,
+        path: str,
+        tree: ast.Module,
+        suppressed: Dict[int, Set[str]],
+        report: AnalysisReport,
+        *,
+        numpy_aliases: Set[str],
+        random_aliases: Set[str],
+        default_rng_aliases: Set[str],
+        seed_critical: bool,
+        rng_module: bool,
+    ):
+        self.path = path
+        self.tree = tree
+        self.suppressed = suppressed
+        self.report = report
+        self.numpy_aliases = numpy_aliases
+        self.random_aliases = random_aliases
+        self.default_rng_aliases = default_rng_aliases
+        self.seed_critical = seed_critical
+        self.rng_module = rng_module
+        #: Module-level mutable names that look like caches.
+        self.module_caches: Set[str] = set()
+        #: Local names currently known to hold a set (per function scope).
+        self._set_locals: List[Set[str]] = []
+        #: Nesting depth of ``with <lock>:`` blocks.
+        self._lock_depth = 0
+        self._function_depth = 0
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(self, code: str, message: str, node: ast.AST, hint: str = "") -> None:
+        from repro.analysis.diagnostics import CODE_TABLE
+
+        slug = CODE_TABLE[code].slug
+        line = getattr(node, "lineno", 0)
+        if slug in self.suppressed.get(line, ()):
+            self.report.suppressed += 1
+            return
+        self.report.add(
+            code,
+            message,
+            file=self.path,
+            line=line,
+            column=getattr(node, "col_offset", None),
+            end_line=getattr(node, "end_lineno", None),
+            hint=hint or None,
+        )
+
+    # -- RNG rules (RPR101 / RPR102) -------------------------------------------
+
+    def _random_namespace(self, func: ast.AST) -> Optional[str]:
+        """Return the np.random attribute name if ``func`` lives there."""
+        if isinstance(func, ast.Attribute):
+            base = _dotted_name(func.value)
+            if base is not None and (
+                base in self.random_aliases
+                or any(
+                    base == f"{alias}.random" for alias in self.numpy_aliases
+                )
+            ):
+                return func.attr
+        return None
+
+    def _check_rng_call(self, node: ast.Call) -> None:
+        attr = self._random_namespace(node.func)
+        is_default_rng = attr == "default_rng" or (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self.default_rng_aliases
+        )
+        if is_default_rng:
+            seed_args = [a for a in node.args if not isinstance(a, ast.Starred)]
+            unseeded = not node.args and not node.keywords or (
+                len(seed_args) == len(node.args) == 1
+                and isinstance(seed_args[0], ast.Constant)
+                and seed_args[0].value is None
+            )
+            if unseeded:
+                self.emit(
+                    "RPR101",
+                    "np.random.default_rng() without a seed — the stream is "
+                    "irreproducible",
+                    node,
+                    hint="thread an explicit seed (or Generator) through "
+                    "repro.utils.rng.ensure_rng",
+                )
+            elif not self.rng_module:
+                self.emit(
+                    "RPR102",
+                    "seed turned into a Generator outside utils/rng.py",
+                    node,
+                    hint="call repro.utils.rng.ensure_rng(seed) (or "
+                    "derive_rng) so seed handling stays in one place",
+                )
+            return
+        if attr is not None and attr not in _RANDOM_NON_DRAWS:
+            self.emit(
+                "RPR101",
+                f"legacy global np.random.{attr}() draws from the shared "
+                "unseeded stream",
+                node,
+                hint="use a Generator from repro.utils.rng.ensure_rng",
+            )
+
+    # -- set-iteration rule (RPR103) -------------------------------------------
+
+    def _is_known_set(self, node: ast.AST) -> bool:
+        if _is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name) and self._set_locals:
+            return node.id in self._set_locals[-1]
+        return False
+
+    def _check_iteration(self, iter_node: ast.AST, where: ast.AST) -> None:
+        if not self.seed_critical:
+            return
+        if self._is_known_set(iter_node):
+            self.emit(
+                "RPR103",
+                "iteration over a set in a seed-critical module — element "
+                "order follows the hash seed, not program order",
+                where,
+                hint="iterate sorted(...) (or keep insertion order in a "
+                "dict/list) so seeded RNG consumption is stable",
+            )
+
+    # -- unlocked-cache rule (RPR104) ------------------------------------------
+
+    def _collect_module_caches(self) -> None:
+        for node in self.tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            mutable = isinstance(value, (ast.Dict, ast.List, ast.Set)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("dict", "list", "set", "OrderedDict")
+            )
+            if not mutable:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and _CACHE_NAME_RE.search(
+                    target.id
+                ):
+                    self.module_caches.add(target.id)
+
+    def _check_cache_mutation(self, name: str, node: ast.AST) -> None:
+        if (
+            name in self.module_caches
+            and self._function_depth > 0
+            and self._lock_depth == 0
+        ):
+            self.emit(
+                "RPR104",
+                f"module-level cache {name!r} mutated without holding a lock",
+                node,
+                hint="guard shared caches with `with <lock>:` (fleet "
+                "workers share module state across threads) or use "
+                "repro.compiler.PlanCache",
+            )
+
+    # -- visitors --------------------------------------------------------------
+
+    def run(self) -> None:
+        self._collect_module_caches()
+        self.visit(self.tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_rng_call(node)
+        if isinstance(node.func, ast.Attribute) and isinstance(
+            node.func.value, ast.Name
+        ):
+            if node.func.attr in _MUTATING_METHODS:
+                self._check_cache_mutation(node.func.value.id, node)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_comprehension_generators(self, generators) -> None:
+        for comp in generators:
+            self._check_iteration(comp.iter, comp.iter)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def _visit_function(self, node) -> None:
+        self._set_locals.append(set())
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+        self._set_locals.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._set_locals:
+            scope = self._set_locals[-1]
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if _is_set_expr(node.value):
+                        scope.add(target.id)
+                    else:
+                        scope.discard(target.id)
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                self._check_cache_mutation(target.value.id, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Subscript) and isinstance(
+            node.target.value, ast.Name
+        ):
+            self._check_cache_mutation(node.target.value.id, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                self._check_cache_mutation(target.value.id, node)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        holds_lock = any(
+            (name := _dotted_name(item.context_expr)) is not None
+            and _LOCK_NAME_RE.search(name)
+            or (
+                isinstance(item.context_expr, ast.Call)
+                and (call_name := _dotted_name(item.context_expr.func))
+                is not None
+                and _LOCK_NAME_RE.search(call_name)
+            )
+            for item in node.items
+        )
+        if holds_lock:
+            self._lock_depth += 1
+            self.generic_visit(node)
+            self._lock_depth -= 1
+        else:
+            self.generic_visit(node)
+
+
+def _alias_tables(tree: ast.Module) -> Tuple[Set[str], Set[str], Set[str]]:
+    """Importable spellings of numpy, numpy.random and default_rng."""
+    numpy_aliases: Set[str] = set()
+    random_aliases: Set[str] = set()
+    default_rng_aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_aliases.add(alias.asname or alias.name)
+                elif alias.name == "numpy.random":
+                    random_aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or alias.name)
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name == "default_rng":
+                        default_rng_aliases.add(alias.asname or alias.name)
+    return numpy_aliases, random_aliases, default_rng_aliases
+
+
+def is_seed_critical(path: Path) -> bool:
+    parts = set(path.parts)
+    return any(part in parts for part in SEED_CRITICAL_PARTS)
+
+
+def is_rng_module(path: Path) -> bool:
+    return path.parts[-2:] == RNG_MODULE_SUFFIX
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    report: Optional[AnalysisReport] = None,
+) -> AnalysisReport:
+    """Lint one source string (the unit the file/path entry points share)."""
+    report = report if report is not None else AnalysisReport()
+    pure_path = Path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.add(
+            "RPR100",
+            f"could not parse: {exc.msg} (line {exc.lineno})",
+            file=path,
+            line=exc.lineno or 0,
+        )
+        return report
+    numpy_aliases, random_aliases, default_rng_aliases = _alias_tables(tree)
+    linter = _FileLinter(
+        path,
+        tree,
+        _suppressions(source),
+        report,
+        numpy_aliases=numpy_aliases or {"np", "numpy"},
+        random_aliases=random_aliases,
+        default_rng_aliases=default_rng_aliases,
+        seed_critical=is_seed_critical(pure_path),
+        rng_module=is_rng_module(pure_path),
+    )
+    linter.run()
+    return report
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[str], *, report: Optional[AnalysisReport] = None
+) -> AnalysisReport:
+    """Lint every ``.py`` file under the given files/directories."""
+    report = report if report is not None else AnalysisReport()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.add(
+                "RPR100",
+                f"could not read {path}: {exc}",
+                file=str(path),
+                line=0,
+            )
+            continue
+        lint_source(source, str(path), report=report)
+    return report

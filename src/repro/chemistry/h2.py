@@ -21,6 +21,7 @@ from repro.chemistry.jordan_wigner import (
 )
 from repro.operators.decompose import pauli_decompose
 from repro.operators.pauli_sum import PauliSum
+from repro.utils.rng import ensure_rng
 
 
 @dataclass(frozen=True)
@@ -105,7 +106,7 @@ def h2_hf_initial_point(ansatz, seed=None, jitter: float = 0.03) -> np.ndarray:
     if start is None:  # pragma: no cover - the chain is invertible
         raise RuntimeError("no first-layer pattern reaches the HF state")
 
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     theta = rng.normal(0.0, jitter, ansatz.num_parameters)
     for qubit, bit in enumerate(start):
         if bit:

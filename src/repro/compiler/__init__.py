@@ -20,7 +20,9 @@ NumPy affine map, and repeated ``run_circuit`` / figure / fleet
 invocations hit the plan cache instead of recompiling.
 
 Knobs: ``REPRO_FUSION=0`` disables fusion (parity debugging);
-``REPRO_PLAN_CACHE=<n>`` sizes the LRU (0 disables caching).
+``REPRO_PLAN_CACHE=<n>`` sizes the LRU (0 disables caching);
+``REPRO_VERIFY=1`` appends the :class:`VerifyPlan` static-verification
+pass (see :mod:`repro.analysis`) to every pipeline — always-on in tests.
 """
 
 from repro.compiler.api import (
@@ -56,9 +58,11 @@ from repro.compiler.passes import (
     SelectLayout,
     TranslateToBasis,
     TrimIdleWires,
+    VerifyPlan,
     default_pipeline,
     device_pipeline,
     fuse_plan,
+    verification_enabled,
 )
 
 __all__ = [
@@ -90,7 +94,9 @@ __all__ = [
     "SelectLayout",
     "TranslateToBasis",
     "TrimIdleWires",
+    "VerifyPlan",
     "default_pipeline",
     "device_pipeline",
     "fuse_plan",
+    "verification_enabled",
 ]

@@ -85,6 +85,10 @@ class DeviceCompilation:
     final_permutation: Dict[int, int]
     num_swaps: int
     logical_positions: tuple = ()
+    #: ``physical_qubits[i]`` is the physical device index of trimmed
+    #: qubit ``i`` (empty means trimmed == physical). The conformance
+    #: verifier maps gates back through this to check coupling adjacency.
+    physical_qubits: tuple = ()
 
     @property
     def num_two_qubit_gates(self) -> int:
@@ -142,6 +146,9 @@ def transpile_then_compile(
             final_permutation=dict(unit.final_permutation or {}),
             num_swaps=unit.num_swaps,
             logical_positions=tuple(unit.metadata.get("logical_positions", ())),
+            physical_qubits=tuple(
+                unit.metadata.get("trimmed_physical_qubits", ())
+            ),
         )
 
     if not cache:

@@ -290,6 +290,25 @@ def noise_fingerprint(noise_model) -> Optional[str]:
     return str(value)
 
 
+def _maybe_verify(plan: NoisePlan, circuit: QuantumCircuit, noise_model) -> None:
+    """Run the Tier-1 noise-plan verifier when ``REPRO_VERIFY=1``.
+
+    Mirrors the :class:`~repro.compiler.passes.VerifyPlan` pipeline pass
+    for the noisy lowering path (noise plans never pass through a
+    :class:`~repro.compiler.passes.Pipeline`). Verification happens at
+    build time only — cache hits return already-verified plans.
+    """
+    from repro.compiler.passes import verification_enabled
+
+    if not verification_enabled():
+        return
+    from repro.analysis.verify import PlanVerificationError, verify_noise_plan
+
+    report = verify_noise_plan(plan, circuit, noise_model)
+    if report.has_errors:
+        raise PlanVerificationError(report, context=f"noise plan of {circuit.name}")
+
+
 def compile_noise_plan(
     circuit: QuantumCircuit,
     noise_model,
@@ -308,7 +327,9 @@ def compile_noise_plan(
 
     def build(key: Optional[str] = None) -> NoisePlan:
         plan = lower_noise_plan(circuit, noise_model, key=key)
-        return fuse_noise_plan(plan) if fuse else plan
+        plan = fuse_noise_plan(plan) if fuse else plan
+        _maybe_verify(plan, circuit, noise_model)
+        return plan
 
     if not cache or model_fingerprint is None:
         return build()

@@ -23,6 +23,7 @@ unfused execution agree to <= 1e-12 — floating-point reassociation only.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -197,6 +198,9 @@ class TrimIdleWires(Pass):
             trimmed.append(inst.name, mapped, inst.params)
         unit.circuit = trimmed
         unit.metadata["logical_positions"] = tuple(index[p] for p in logical_end)
+        # Trimmed index -> physical device qubit, consumed by result
+        # bookkeeping and the coupling-conformance verifier.
+        unit.metadata["trimmed_physical_qubits"] = tuple(keep)
         return unit
 
 
@@ -308,11 +312,55 @@ def fuse_plan(plan: GatePlan, max_support: int = MAX_FUSION_SUPPORT) -> GatePlan
     )
 
 
+class VerifyPlan(Pass):
+    """Statically verify the lowered plan (opt-in, ``REPRO_VERIFY=1``).
+
+    Runs the Tier-1 verifiers of :mod:`repro.analysis.verify` over the
+    compilation unit — plan structure, affine-map completeness, unitarity
+    of every (possibly fused) static matrix, and, on device pipelines,
+    post-routing coupling/basis/measurement conformance. Error-severity
+    diagnostics raise :class:`~repro.analysis.verify.
+    PlanVerificationError` so a corrupted plan never reaches a simulator.
+    """
+
+    name = "verify"
+
+    def __init__(self, atol: Optional[float] = None):
+        self.atol = atol
+
+    def run(self, unit: CompilationUnit) -> CompilationUnit:
+        # Imported lazily: repro.analysis depends on the compiler IR.
+        from repro.analysis.verify import (
+            DEFAULT_ATOL,
+            PlanVerificationError,
+            verify_compilation_unit,
+        )
+
+        report = verify_compilation_unit(
+            unit, atol=self.atol if self.atol is not None else DEFAULT_ATOL
+        )
+        if report.has_errors:
+            raise PlanVerificationError(report, context=unit.circuit.name)
+        return unit
+
+
+def verification_enabled() -> bool:
+    """Whether pipelines append :class:`VerifyPlan` (``REPRO_VERIFY=1``).
+
+    Kept in sync with :func:`repro.analysis.verify.verification_enabled`
+    without importing the analysis package at pipeline-construction time.
+    """
+    value = os.environ.get("REPRO_VERIFY", "").strip().lower()
+    return value in ("1", "on", "true", "yes")
+
+
 def default_pipeline(fusion: bool = True) -> Pipeline:
     """The standard simulation pipeline: lower, then (optionally) fuse."""
     passes: List[Pass] = [LowerToPlan()]
     if fusion:
         passes.append(FuseStaticGates())
+    if verification_enabled():
+        passes.append(VerifyPlan())
     return Pipeline(passes, name="default")
 
 
@@ -327,4 +375,6 @@ def device_pipeline(layout_method: str = "chain", fusion: bool = True) -> Pipeli
     ]
     if fusion:
         passes.append(FuseStaticGates())
+    if verification_enabled():
+        passes.append(VerifyPlan())
     return Pipeline(passes, name=f"device-{layout_method}")

@@ -12,6 +12,7 @@ import networkx as nx
 import numpy as np
 
 from repro.operators.pauli_sum import PauliSum
+from repro.utils.rng import ensure_rng
 
 
 def maxcut_hamiltonian(graph: nx.Graph) -> PauliSum:
@@ -65,7 +66,7 @@ def random_weighted_graph(
 ) -> nx.Graph:
     """Erdos-Renyi graph with uniform [0.5, 1.5] edge weights."""
     graph = nx.gnp_random_graph(num_nodes, edge_probability, seed=seed)
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     for u, v in graph.edges():
         graph[u][v]["weight"] = float(rng.uniform(0.5, 1.5))
     return graph

@@ -8,6 +8,7 @@ two agree for small circuits.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 
@@ -64,16 +65,46 @@ class NoiseModel:
         """Content fingerprint for noise-plan caching.
 
         Two models with equal error strengths and overrides share cached
-        :class:`~repro.compiler.noise_plan.NoisePlan` entries.
+        :class:`~repro.compiler.noise_plan.NoisePlan` entries. The hash
+        folds in the *actual Kraus operators* the model emits (bytes of
+        each stacked array, in emission order) over a set of
+        representative gate sites, so a subclass that changes
+        ``channels_for`` — even one that only reorders operators —
+        cannot collide with the base model's cache entries. Subclasses
+        whose channels depend on state this sampling cannot see must
+        override ``fingerprint`` themselves (the plan-cache soundness
+        verifier, RPR011, leans on this).
         """
-        overrides = ",".join(
-            f"{name}={self.gate_overrides[name]!r}"
-            for name in sorted(self.gate_overrides)
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(type(self).__qualname__.encode())
+        digest.update(
+            f"|{self.single_qubit_error!r}|{self.two_qubit_error!r}".encode()
         )
-        return (
-            f"dep:{self.single_qubit_error!r}:{self.two_qubit_error!r}"
-            f":[{overrides}]"
-        )
+        for gate_name, qubits in self._representative_sites():
+            digest.update(f"|{gate_name}:{qubits}".encode())
+            for kraus_ops, target in self.channels_for(gate_name, qubits):
+                stacked = np.ascontiguousarray(
+                    np.asarray(kraus_ops, dtype=complex)
+                )
+                digest.update(f"|{target}:{stacked.shape}".encode())
+                digest.update(stacked.tobytes())
+        return f"dep:{digest.hexdigest()}"
+
+    def _representative_sites(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """Gate sites that exercise every distinct channel the model emits.
+
+        One generic 1q and one generic 2q site cover the default error
+        strengths; every override gate is probed at both arities (only
+        the name is consulted for the override lookup).
+        """
+        sites: List[Tuple[str, Tuple[int, ...]]] = [
+            ("<1q>", (0,)),
+            ("<2q>", (0, 1)),
+        ]
+        for name in sorted(self.gate_overrides):
+            sites.append((name, (0,)))
+            sites.append((name, (0, 1)))
+        return sites
 
     # -- global depolarizing approximation ------------------------------------
 

@@ -41,8 +41,11 @@ def derive_seed(base_seed: int, label: str) -> int:
 def derive_rng(base_seed: Optional[int], label: str) -> np.random.Generator:
     """Return an independent child generator for ``label``.
 
-    With ``base_seed=None`` the child is unseeded (still independent).
+    With ``base_seed=None`` the child is unseeded (still independent) —
+    an explicit opt-out of reproducibility for exploratory runs. This is
+    the repo's one sanctioned unseeded-RNG construction site; everywhere
+    else the determinism linter (``RPR101``) forbids it.
     """
     if base_seed is None:
-        return np.random.default_rng()
+        return np.random.default_rng()  # repro: allow-unseeded-rng
     return np.random.default_rng(derive_seed(base_seed, label))

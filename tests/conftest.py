@@ -1,0 +1,14 @@
+"""Suite-wide configuration.
+
+Static plan verification (:mod:`repro.analysis`) is always-on under the
+test suite: every pipeline compile and every noise-plan lowering in any
+test runs the Tier-1 verifiers, so a regression that produces a
+non-unitary fused matrix, a non-CPTP Kraus stack or a broken parameter
+table fails loudly at compile time instead of corrupting results.
+``REPRO_VERIFY`` set explicitly in the environment (e.g. ``=0`` to
+bisect verifier overhead) still wins.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_VERIFY", "1")

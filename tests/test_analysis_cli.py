@@ -1,0 +1,139 @@
+"""CLI and diagnostics-framework tests for ``python -m repro.analysis``."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODE_TABLE,
+    AnalysisReport,
+    Severity,
+    make_diagnostic,
+    merge_reports,
+    render_code_table,
+)
+from repro.analysis.cli import main
+
+
+# -- diagnostics framework -----------------------------------------------------
+
+
+def test_diagnostic_rendering_and_location():
+    diagnostic = make_diagnostic(
+        "RPR101", "unseeded rng", file="a.py", line=3, column=4, hint="seed it"
+    )
+    text = diagnostic.render()
+    assert "a.py:3:4" in text
+    assert "RPR101" in text and "unseeded-rng" in text
+    assert "hint: seed it" in text
+
+
+def test_locus_rendering_for_ir_findings():
+    diagnostic = make_diagnostic("RPR005", "bad matrix", locus="GatePlan.ops[2]")
+    assert diagnostic.render().startswith("GatePlan.ops[2]:")
+
+
+def test_default_severity_comes_from_registry():
+    assert make_diagnostic("RPR012", "x").severity == Severity.WARNING
+    assert make_diagnostic("RPR005", "x").severity == Severity.ERROR
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(KeyError):
+        make_diagnostic("RPR999", "x")
+
+
+def test_report_aggregation_and_json_roundtrip():
+    report = AnalysisReport()
+    report.add("RPR005", "one")
+    report.add("RPR012", "two", locus="GatePlan")
+    payload = json.loads(report.to_json())
+    assert payload["counts"] == {"error": 1, "warning": 1}
+    assert payload["ok"] is False
+    assert len(payload["diagnostics"]) == 2
+    assert report.has_errors
+    assert len(report.errors) == 1 and len(report.warnings) == 1
+
+
+def test_merge_reports_accumulates_suppressed():
+    a = AnalysisReport(suppressed=1)
+    a.add("RPR005", "x")
+    b = AnalysisReport()
+    merged = merge_reports([a, b])
+    assert len(merged) == 1 and merged.suppressed == 1
+
+
+def test_render_text_orders_by_severity():
+    report = AnalysisReport()
+    report.add("RPR012", "warn first added")
+    report.add("RPR005", "error second added")
+    lines = report.render_text().splitlines()
+    assert "RPR005" in lines[0]
+    assert "1 error, 1 warning" in lines[-1]
+
+
+def test_code_table_covers_both_tiers():
+    verifier = [c for c in CODE_TABLE if c < "RPR100"]
+    linter = [c for c in CODE_TABLE if c >= "RPR100"]
+    assert len(verifier) >= 10 and len(linter) >= 4
+    table = render_code_table()
+    for code in CODE_TABLE:
+        assert code in table
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_cli_codes_subcommand(capsys):
+    assert main(["codes"]) == 0
+    out = capsys.readouterr().out
+    assert "RPR005" in out and "RPR101" in out
+
+
+def test_cli_lint_clean_file(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("from repro.utils.rng import ensure_rng\n")
+    assert main(["lint", str(clean)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_cli_lint_flags_unseeded_rng(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "import numpy as np\nrng = np.random.default_rng()\n"
+    )
+    assert main(["lint", str(dirty)]) == 1
+    assert "RPR101" in capsys.readouterr().out
+
+
+def test_cli_lint_json_output(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import numpy as np\nnp.random.seed(1)\n")
+    assert main(["--json", "lint", str(dirty)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["diagnostics"][0]["code"] == "RPR101"
+
+
+def test_cli_fail_on_warning(tmp_path):
+    warn_only = tmp_path / "warn.py"
+    warn_only.write_text("def broken(:\n")  # parse error -> RPR100 warning
+    assert main(["lint", str(warn_only)]) == 0
+    assert main(["--fail-on", "warning", "lint", str(warn_only)]) == 1
+
+
+def test_cli_verify_single_app(capsys):
+    assert main(["verify", "--app", "App1"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_cli_verify_all_apps_clean(capsys):
+    """Acceptance: the registry-wide sweep (with and without noise) reports
+    zero error-severity diagnostics."""
+    assert main(["verify", "--all-apps"]) == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+
+
+def test_cli_verify_no_noise_leg(capsys):
+    assert main(["verify", "--app", "App2", "--no-noise"]) == 0

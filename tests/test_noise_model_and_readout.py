@@ -101,3 +101,48 @@ def test_readout_validation():
         ReadoutError([0.1], [0.1, 0.2])
     with pytest.raises(ValueError):
         ReadoutError([1.5], [0.0])
+
+
+# -- fingerprint cache-key soundness -------------------------------------------
+
+
+class _PermutedKrausModel(NoiseModel):
+    """Same error strengths; optionally emits Kraus operators reversed."""
+
+    def __init__(self, *args, flip=False, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.flip = flip
+
+    def channels_for(self, gate_name, qubits):
+        for kraus, target in super().channels_for(gate_name, qubits):
+            yield (list(reversed(kraus)) if self.flip else kraus), target
+
+
+def test_fingerprint_stable_and_content_sensitive():
+    assert NoiseModel(0.01, 0.05).fingerprint() == NoiseModel(0.01, 0.05).fingerprint()
+    assert NoiseModel(0.01, 0.05).fingerprint() != NoiseModel(0.02, 0.05).fingerprint()
+    assert (
+        NoiseModel(0.01, 0.05).fingerprint()
+        != NoiseModel(0.01, 0.05, gate_overrides={"rz": 0.0}).fingerprint()
+    )
+
+
+def test_fingerprint_distinguishes_kraus_operator_order():
+    """Cache-key soundness the plan verifier (RPR011) assumes: two models
+    differing only in the *order* of their Kraus operators must not share
+    cached noise plans — the stacked arrays (and the trajectory engine's
+    branch draws) differ."""
+    plain = _PermutedKrausModel(0.01, 0.05)
+    flipped = _PermutedKrausModel(0.01, 0.05, flip=True)
+    assert plain.fingerprint() != flipped.fingerprint()
+    # Same class, same flip: still stable.
+    assert plain.fingerprint() == _PermutedKrausModel(0.01, 0.05).fingerprint()
+
+
+def test_fingerprint_distinguishes_subclass_channel_rewrites():
+    """A subclass that changes channels_for cannot collide with the base
+    model's cache entries even with identical dataclass fields."""
+    assert (
+        _PermutedKrausModel(0.01, 0.05).fingerprint()
+        != NoiseModel(0.01, 0.05).fingerprint()
+    )
