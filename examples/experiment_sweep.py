@@ -1,12 +1,16 @@
-"""Declarative sweeps: ExperimentPlan + pluggable executors.
+"""Declarative sweeps: ExperimentPlan + the experiment store.
 
 Declares one plan over 2 apps x 3 schemes x 2 seeds (12 VQE runs), runs
 it on the environment-selected executor (``REPRO_EXECUTOR=serial``,
 ``parallel`` or ``fleet`` — default parallel here), then re-runs it
-through a CachedExecutor twice to show that the second pass is served
-entirely from disk (identical numbers, ~zero cost).
+through a store-backed CachedExecutor twice to show that the second
+pass is served entirely from the store (identical numbers, ~zero cost)
+and that the store's query/aggregate API reproduces the figure-builder
+numbers bit-for-bit — including from the incrementally materialized
+view.
 
 Run:  python examples/experiment_sweep.py
+      REPRO_STORE=results.sqlite python examples/experiment_sweep.py
       REPRO_EXECUTOR=fleet REPRO_FLEET_DB=fleet.db \
           python examples/experiment_sweep.py
 """
@@ -15,12 +19,8 @@ import os
 import tempfile
 import time
 
-from repro.runtime import (
-    CachedExecutor,
-    ExperimentPlan,
-    ParallelExecutor,
-    default_executor,
-)
+from repro.runtime import ExperimentPlan, executor_for
+from repro.store import ExperimentStore, RunQuery
 
 ITERATIONS = 120
 
@@ -50,11 +50,8 @@ def main() -> None:
           f"({len(PLAN.apps)} apps x {len(PLAN.schemes)} schemes x "
           f"{len(PLAN.seeds)} seeds), id {PLAN.plan_id}")
 
-    executor = (
-        default_executor()
-        if os.environ.get("REPRO_EXECUTOR")
-        else ParallelExecutor()
-    )
+    kind = os.environ.get("REPRO_EXECUTOR") or "parallel"
+    executor = executor_for(kind)
     print(f"\n[1] {type(executor).__name__} (environment-selected)")
     start = time.perf_counter()
     first = executor.run_plan(PLAN)
@@ -64,15 +61,17 @@ def main() -> None:
     if close is not None:
         close()
 
-    with tempfile.TemporaryDirectory() as cache_dir:
-        print("\n[2] CachedExecutor, cold cache")
-        executor = CachedExecutor(cache_dir, inner=ParallelExecutor())
+    with tempfile.TemporaryDirectory() as scratch:
+        store = ExperimentStore(os.path.join(scratch, "store.sqlite"))
+
+        print("\n[2] CachedExecutor over a fresh store, cold")
+        executor = executor_for("parallel", store=store)
         start = time.perf_counter()
         cold = executor.run_plan(PLAN)
         print(f"  elapsed {time.perf_counter() - start:.1f}s "
               f"(hits={executor.hits}, misses={executor.misses})")
 
-        print("\n[3] CachedExecutor, warm cache")
+        print("\n[3] same executor, warm store")
         start = time.perf_counter()
         warm = executor.run_plan(PLAN)
         print(f"  elapsed {time.perf_counter() - start:.1f}s "
@@ -84,6 +83,24 @@ def main() -> None:
             for cold_run, warm_run in zip(cold, warm)
         )
         print(f"\nwarm pass bit-equal to cold pass: {same}")
+
+        print("\n[4] store query + aggregates")
+        store.record_plan(PLAN)
+        query = RunQuery(run_ids=[run.run_id for run in warm])
+        info = store.info()
+        print(f"  {info['runs']} runs, {info['blobs']} blobs "
+              f"({info['payload_bytes']} payload bytes) at {info['path']}")
+        direct = store.aggregate(query)
+        print(f"  aggregate (direct):       {direct}")
+        summary = store.materialize()
+        print(f"  materialize: {summary['updated_cells']}/"
+              f"{summary['total_cells']} cells, "
+              f"watermark {summary['watermark']}")
+        materialized = store.aggregate_materialized()
+        print(f"  aggregate (materialized): {materialized}")
+        print(f"  store matches PlanResult bit-for-bit: "
+              f"{direct == warm.geomean_improvements() == materialized}")
+        store.close()
 
 
 if __name__ == "__main__":

@@ -87,6 +87,9 @@ CODE_TABLE: Dict[str, CodeSpec] = {
                  "(hash-order nondeterminism)"),
         CodeSpec("RPR104", "unlocked-cache", Severity.ERROR,
                  "module-level mutable cache mutated outside a lock"),
+        CodeSpec("RPR105", "direct-result-dump", Severity.ERROR,
+                 "result payload written with save_json outside repro/store/ "
+                 "(bypasses the experiment store)"),
     ]
 }
 

@@ -18,6 +18,11 @@ run is bit-identically seeded):
 * **RPR104 / unlocked-cache** — a module-level mutable cache (a
   dict/list/set whose name looks cache-like) mutated inside a function
   without holding a lock: fleet worker threads share module state.
+* **RPR105 / direct-result-dump** — ``save_json(...)`` called outside
+  the :mod:`repro.store` package (and the serialization module that
+  defines it): result payloads belong in the experiment store, where
+  they are content-addressed, deduped and queryable, not in loose JSON
+  files.
 
 Findings are silenced per line with ``# repro: allow-<slug>`` (on the
 offending line or the line directly above).
@@ -39,6 +44,9 @@ SEED_CRITICAL_PARTS = ("simulator", "noise", "vqa", "fleet")
 
 #: The canonical RNG module — the one place allowed to build generators.
 RNG_MODULE_SUFFIX = ("utils", "rng.py")
+
+#: The module defining save_json (exempt from the direct-dump rule).
+SERIALIZATION_MODULE_SUFFIX = ("utils", "serialization.py")
 
 #: np.random attributes that are types/constructors, not stream draws.
 _RANDOM_NON_DRAWS = {
@@ -117,8 +125,10 @@ class _FileLinter(ast.NodeVisitor):
         numpy_aliases: Set[str],
         random_aliases: Set[str],
         default_rng_aliases: Set[str],
+        save_json_aliases: Set[str],
         seed_critical: bool,
         rng_module: bool,
+        store_module: bool,
     ):
         self.path = path
         self.tree = tree
@@ -127,8 +137,10 @@ class _FileLinter(ast.NodeVisitor):
         self.numpy_aliases = numpy_aliases
         self.random_aliases = random_aliases
         self.default_rng_aliases = default_rng_aliases
+        self.save_json_aliases = save_json_aliases
         self.seed_critical = seed_critical
         self.rng_module = rng_module
+        self.store_module = store_module
         #: Module-level mutable names that look like caches.
         self.module_caches: Set[str] = set()
         #: Local names currently known to hold a set (per function scope).
@@ -212,6 +224,29 @@ class _FileLinter(ast.NodeVisitor):
                 hint="use a Generator from repro.utils.rng.ensure_rng",
             )
 
+    # -- direct-result-dump rule (RPR105) --------------------------------------
+
+    def _check_result_dump(self, node: ast.Call) -> None:
+        if self.store_module:
+            return
+        is_dump = (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self.save_json_aliases
+        ) or (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "save_json"
+        )
+        if is_dump:
+            self.emit(
+                "RPR105",
+                "result payload written with save_json instead of the "
+                "experiment store",
+                node,
+                hint="append runs to an ExperimentStore (repro.store) — or "
+                "export through repro.store.export — so results stay "
+                "content-addressed, deduped and queryable",
+            )
+
     # -- set-iteration rule (RPR103) -------------------------------------------
 
     def _is_known_set(self, node: ast.AST) -> bool:
@@ -283,6 +318,7 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         self._check_rng_call(node)
+        self._check_result_dump(node)
         if isinstance(node.func, ast.Attribute) and isinstance(
             node.func.value, ast.Name
         ):
@@ -375,11 +411,14 @@ class _FileLinter(ast.NodeVisitor):
             self.generic_visit(node)
 
 
-def _alias_tables(tree: ast.Module) -> Tuple[Set[str], Set[str], Set[str]]:
-    """Importable spellings of numpy, numpy.random and default_rng."""
+def _alias_tables(
+    tree: ast.Module,
+) -> Tuple[Set[str], Set[str], Set[str], Set[str]]:
+    """Importable spellings of numpy, numpy.random, default_rng, save_json."""
     numpy_aliases: Set[str] = set()
     random_aliases: Set[str] = set()
     default_rng_aliases: Set[str] = set()
+    save_json_aliases: Set[str] = set()
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
@@ -396,7 +435,11 @@ def _alias_tables(tree: ast.Module) -> Tuple[Set[str], Set[str], Set[str]]:
                 for alias in node.names:
                     if alias.name == "default_rng":
                         default_rng_aliases.add(alias.asname or alias.name)
-    return numpy_aliases, random_aliases, default_rng_aliases
+            elif node.module in ("repro.utils", "repro.utils.serialization"):
+                for alias in node.names:
+                    if alias.name == "save_json":
+                        save_json_aliases.add(alias.asname or alias.name)
+    return numpy_aliases, random_aliases, default_rng_aliases, save_json_aliases
 
 
 def is_seed_critical(path: Path) -> bool:
@@ -406,6 +449,18 @@ def is_seed_critical(path: Path) -> bool:
 
 def is_rng_module(path: Path) -> bool:
     return path.parts[-2:] == RNG_MODULE_SUFFIX
+
+
+def is_store_module(path: Path) -> bool:
+    """True inside the ``repro/store/`` package (or serialization.py).
+
+    Only a *directory* named ``store`` exempts — ``fleet/store.py`` is a
+    file and stays subject to the rule, which is exactly how the fleet's
+    payload path was forced through the experiment store.
+    """
+    return "store" in path.parts[:-1] or (
+        path.parts[-2:] == SERIALIZATION_MODULE_SUFFIX
+    )
 
 
 def lint_source(
@@ -427,7 +482,12 @@ def lint_source(
             line=exc.lineno or 0,
         )
         return report
-    numpy_aliases, random_aliases, default_rng_aliases = _alias_tables(tree)
+    (
+        numpy_aliases,
+        random_aliases,
+        default_rng_aliases,
+        save_json_aliases,
+    ) = _alias_tables(tree)
     linter = _FileLinter(
         path,
         tree,
@@ -436,8 +496,10 @@ def lint_source(
         numpy_aliases=numpy_aliases or {"np", "numpy"},
         random_aliases=random_aliases,
         default_rng_aliases=default_rng_aliases,
+        save_json_aliases=save_json_aliases,
         seed_critical=is_seed_critical(pure_path),
         rng_module=is_rng_module(pure_path),
+        store_module=is_store_module(pure_path),
     )
     linter.run()
     return report

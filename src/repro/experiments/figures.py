@@ -8,6 +8,7 @@ seed and scale with ``REPRO_FULL``.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -22,10 +23,51 @@ from repro.experiments.schemes import build_vqe
 from repro.noise.noise_model import NoiseModel
 from repro.noise.transient.t1_model import T1FluctuationModel, t1_to_error_fraction
 from repro.noise.transient.trace_generator import profile_for_machine
-from repro.runtime import ExperimentPlan, PlanResult, RunSpec, default_executor
+from repro.runtime import ExperimentPlan, RunSpec, default_executor
+from repro.store.query import RunQuery
+from repro.store.store import ExperimentStore, open_store
 from repro.utils.rng import derive_seed
 from repro.utils.stats import relative_variation
 from repro.vqa.objective import EnergyObjective
+
+
+def _result_store(executor) -> Optional[ExperimentStore]:
+    """The experiment store an executor already writes through, if any."""
+    for attr in ("results", "store"):
+        candidate = getattr(executor, attr, None)
+        if isinstance(candidate, ExperimentStore):
+            return candidate
+    return None
+
+
+@contextmanager
+def _recorded(executor, specs: Sequence[RunSpec]):
+    """Execute ``specs`` and expose them through the store query API.
+
+    Yields ``(store, query)`` after recording the results: in the
+    executor's own store when it has one (``CachedExecutor``/fleet —
+    where they already landed; ``append`` is a dedupe no-op then) or in
+    :func:`repro.store.open_store` otherwise. The figure builders read
+    result data exclusively through this store + :class:`RunQuery` pair.
+    """
+    runs = executor.run(list(specs))
+    store = _result_store(executor)
+    own = store is None
+    if own:
+        store = open_store()
+    store.append_many(runs)
+    try:
+        yield store, RunQuery(run_ids=[spec.run_id for spec in specs])
+    finally:
+        if own:
+            store.close()
+
+
+def _cell(comparisons: Dict, app_name: str):
+    for (name, _seed, _scale), comp in comparisons.items():
+        if name == app_name:
+            return comp
+    raise KeyError(f"no stored runs for app {app_name!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -224,7 +266,8 @@ def fig13_machines(
 
     All machines' runs (6 machines x 2 schemes) are expanded up front and
     handed to one executor call, so a parallel executor fans the whole
-    figure out across cores at once.
+    figure out across cores at once; the per-machine comparisons are then
+    read back through the experiment store's query API.
     """
     its = {m: _machine_iterations(m, iterations) for m in MACHINE_ITERATIONS}
     specs = [
@@ -232,9 +275,10 @@ def fig13_machines(
         for m in MACHINE_ITERATIONS
         for scheme in ("baseline", "qismet")
     ]
-    outcome = PlanResult(runs=(executor or default_executor()).run(specs))
+    with _recorded(executor or default_executor(), specs) as (store, query):
+        comparisons = store.comparisons(query)
     rows = {
-        m: _machine_row(m, its[m], outcome.comparison(f"machine:{m}"))
+        m: _machine_row(m, its[m], _cell(comparisons, f"machine:{m}"))
         for m in MACHINE_ITERATIONS
     }
     ratios = [row["improvement"] for row in rows.values()]
@@ -271,15 +315,21 @@ def fig13_fleet(
     with FleetExecutor(
         machines=machines, db_path=db_path, seed=fleet_seed
     ) as executor:
-        outcome = PlanResult(runs=executor.run(specs))
+        with _recorded(executor, specs) as (store, query):
+            comparisons = store.comparisons(query)
+            stored = store.query_runs(query)
         telemetry = executor.telemetry.snapshot()
         job_counts = executor.store.counts()
     rows = {
-        m: _machine_row(m, its[m], outcome.comparison(f"machine:{m}"))
+        m: _machine_row(m, its[m], _cell(comparisons, f"machine:{m}"))
         for m in MACHINE_ITERATIONS
     }
     ratios = [row["improvement"] for row in rows.values()]
     geomean = float(np.exp(np.mean(np.log(np.maximum(ratios, 1e-6)))))
+    stored_per_device: Dict[str, int] = {}
+    for run in stored:
+        device = run.device or "-"
+        stored_per_device[device] = stored_per_device.get(device, 0) + 1
     return {
         "machines": rows,
         "geomean_improvement": geomean,
@@ -292,6 +342,7 @@ def fig13_fleet(
                 for name, counters in telemetry["devices"].items()
             },
             "job_counts": job_counts,
+            "stored_runs_per_device": stored_per_device,
         },
     }
 
@@ -335,22 +386,30 @@ def fig17_main_results(
 
     Declared as one ``ExperimentPlan`` (apps x schemes) and executed in a
     single fan-out, so ``REPRO_EXECUTOR=parallel`` parallelizes the whole
-    grid and ``REPRO_CACHE_DIR`` makes repeated builds near-instant.
+    grid and ``REPRO_STORE``/``REPRO_CACHE_DIR`` makes repeated builds
+    near-instant. Per-app improvements and the geomean row are read back
+    through the experiment store's query/aggregate API (bit-identical to
+    regrouping the executor results directly).
     """
     iterations = iterations or default_iterations(2000, 400)
     plan = ExperimentPlan(
         apps=tuple(apps), schemes=tuple(schemes),
         iterations=iterations, seeds=(seed,), name="fig17",
     )
-    outcome = (executor or default_executor()).run_plan(plan)
+    with _recorded(executor or default_executor(), plan.expand()) as (
+        store, query,
+    ):
+        store.record_plan(plan)
+        comparisons = store.comparisons(query)
+        geomean = store.aggregate(query)
     per_app = {
-        app_name: outcome.comparison(app_name).improvements()
+        app_name: _cell(comparisons, app_name).improvements()
         for app_name in apps
     }
     return {
         "iterations": iterations,
         "per_app": per_app,
-        "geomean": outcome.geomean_improvements(),
+        "geomean": geomean,
     }
 
 

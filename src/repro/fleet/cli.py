@@ -20,11 +20,14 @@ import argparse
 import json
 import os
 import sys
+import warnings
 from typing import List, Optional
 
 from repro.fleet.executor import FLEET_DB_ENV, FleetExecutor
 from repro.fleet.store import DONE, JobStore
 from repro.runtime.spec import ExperimentPlan
+from repro.store.export import export_plan_result
+from repro.store.query import RunQuery
 
 
 def _db_path(args) -> Optional[str]:
@@ -89,9 +92,24 @@ def cmd_submit(args) -> int:
             f"| devices used {snapshot['devices_used']} "
             f"| deferrals {snapshot['total_deferrals']}"
         )
+        export_to = args.export
         if args.out:
-            outcome.save(args.out)
-            print(f"plan result saved to {args.out}")
+            # One-release compatibility shim for the pre-store flag; the
+            # export below produces byte-identical files.
+            warnings.warn(
+                "--out is deprecated; use --export (store-backed export)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            export_to = export_to or args.out
+        if export_to:
+            export_plan_result(
+                executor.results,
+                [run.run_id for run in outcome],
+                export_to,
+                plan=plan.to_dict(),
+            )
+            print(f"plan result saved to {export_to}")
     return 0
 
 
@@ -146,6 +164,7 @@ def cmd_stats(args) -> int:
         return 2
     with JobStore(db) as store:
         rollup = store.telemetry()
+        stored = store.results.query_runs(RunQuery(sources="fleet"))
     devices = rollup["devices"]
     if not devices:
         print("no telemetry recorded yet")
@@ -179,6 +198,14 @@ def cmd_stats(args) -> int:
     completed = sum(c["completed"] for c in devices.values())
     if ticks:
         print(f"\nthroughput: {completed / ticks:.2f} jobs/tick over {ticks} ticks")
+    if stored:
+        per_device: dict = {}
+        for run in stored:
+            per_device[run.device or "-"] = per_device.get(run.device or "-", 0) + 1
+        breakdown = ", ".join(
+            f"{name}={n}" for name, n in sorted(per_device.items())
+        )
+        print(f"stored results: {len(stored)} ({breakdown})")
     return 0
 
 
@@ -231,7 +258,14 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--db", help=f"job store path (or {FLEET_DB_ENV})")
     submit.add_argument("--fleet-seed", type=int, default=2023)
     submit.add_argument("--timeout", type=float, default=None)
-    submit.add_argument("--out", help="save the PlanResult JSON here")
+    submit.add_argument(
+        "--export",
+        help="export the plan result (store-backed) as PlanResult JSON",
+    )
+    submit.add_argument(
+        "--out",
+        help="deprecated alias of --export (one-release compatibility shim)",
+    )
     submit.set_defaults(func=cmd_submit)
 
     status = sub.add_parser("status", help="poll a job store")

@@ -72,6 +72,11 @@ class FleetExecutor(BaseExecutor):
     def store(self):
         return self.service.store
 
+    @property
+    def results(self):
+        """The embedded experiment store holding this fleet's payloads."""
+        return self.service.store.results
+
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         results = self.service.run_specs(specs, timeout=self.timeout)
         cached = sum(1 for result in results if result.from_cache)

@@ -6,10 +6,16 @@ the same spec returns the stored result without re-executing anything
 (the spec's seed-determinism guarantees the stored payload is exactly
 what a fresh run would produce).
 
-Result payloads are serialized through :mod:`repro.runtime.results`, so
-anything the executor cache can persist, the job store can too. All
-timestamps are fleet-clock ticks, keeping the store's contents
-reproducible run-over-run.
+The job table owns *lifecycle only*: result payloads live in an
+embedded :class:`~repro.store.ExperimentStore` sharing this store's
+SQLite connection (exposed as :attr:`JobStore.results`), so fleet
+results land in the same content-addressed lakehouse every other cache
+uses — queryable, deduped, and exportable with ``python -m repro.store``
+pointed at the fleet db. Databases written before the store existed
+keep working: a legacy inline ``jobs.result`` payload is read as a
+fallback and backfilled into the store on first access. All timestamps
+are fleet-clock ticks, keeping the store's contents reproducible
+run-over-run.
 
 One connection serves all worker threads, guarded by a lock
 (``check_same_thread=False``); SQLite serializes writes anyway, and the
@@ -27,6 +33,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.runtime.results import RunResult
 from repro.runtime.spec import RunSpec
+from repro.store.store import ExperimentStore
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -115,6 +122,11 @@ class JobStore:
         with self._lock:
             self._conn.executescript(_SCHEMA)
             self._conn.commit()
+        # Result payloads live in the experiment lakehouse, embedded in
+        # the same database file (shared connection + re-entrant lock).
+        self.results = ExperimentStore(
+            self.path, conn=self._conn, lock=self._lock
+        )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -170,13 +182,18 @@ class JobStore:
 
     def mark_done(self, run_id: str, result: RunResult, tick: int) -> None:
         with self._lock:
+            row = self._conn.execute(
+                "SELECT device FROM jobs WHERE run_id=?", (run_id,)
+            ).fetchone()
+            device = row["device"] if row is not None else None
             self._transition(
                 run_id,
                 DONE,
                 allowed=(RUNNING, QUEUED),
-                extra="result=?, finished_tick=?",
-                params=(json.dumps(result.to_dict()), tick),
+                extra="result=NULL, finished_tick=?",
+                params=(tick,),
             )
+            self.results.append(result, device=device, source="fleet")
 
     def mark_failed(self, run_id: str, error: str, tick: int) -> None:
         self._transition(
@@ -246,15 +263,32 @@ class JobStore:
             return self._fetch_locked(run_id)
 
     def result(self, run_id: str) -> Optional[RunResult]:
-        """The stored ``RunResult`` of a done job (else ``None``)."""
+        """The stored ``RunResult`` of a done job (else ``None``).
+
+        Payloads come from the embedded experiment store; a pre-store
+        database's inline ``jobs.result`` JSON is honored as a fallback
+        and backfilled so the next read hits the store.
+        """
         with self._lock:
             row = self._conn.execute(
-                "SELECT result FROM jobs WHERE run_id=? AND status=?",
+                "SELECT result, device FROM jobs WHERE run_id=? AND status=?",
                 (run_id, DONE),
             ).fetchone()
-        if row is None or row["result"] is None:
-            return None
-        return RunResult.from_dict(json.loads(row["result"]))
+            if row is None:
+                return None
+            stored = self.results.get(run_id)
+            if stored is not None:
+                stored.from_cache = False
+                return stored
+            if row["result"] is None:
+                return None
+            legacy = RunResult.from_dict(json.loads(row["result"]))
+            self.results.append(legacy, device=row["device"], source="fleet")
+            self._conn.execute(
+                "UPDATE jobs SET result=NULL WHERE run_id=?", (run_id,)
+            )
+            self._conn.commit()
+            return legacy
 
     def jobs(self, status: Optional[str] = None) -> List[JobRecord]:
         if status is not None and status not in STATUSES:

@@ -28,6 +28,7 @@ from repro.runtime.executors import (
     ParallelExecutor,
     SerialExecutor,
     default_executor,
+    executor_for,
     run_plan,
 )
 from repro.runtime.results import PlanResult, RunResult
@@ -51,6 +52,7 @@ __all__ = [
     "default_executor",
     "execute_all",
     "execute_run",
+    "executor_for",
     "freeze_overrides",
     "resolve_app",
     "run_plan",

@@ -10,18 +10,21 @@ time only, never results.
 * :class:`ParallelExecutor` — fan-out across worker processes with
   :class:`concurrent.futures.ProcessPoolExecutor`; results cross the
   process boundary via the result layer's serialization.
-* :class:`CachedExecutor` — wraps another executor with a disk cache
-  keyed by each spec's content-hash ``run_id``, so repeated figure
-  builds only pay for specs they have never seen.
+* :class:`CachedExecutor` — wraps another executor with the experiment
+  store (:mod:`repro.store`) keyed by each spec's content-hash
+  ``run_id``, so repeated figure builds only pay for specs they have
+  never seen. Legacy per-run JSON cache directories are read (and
+  ingested into the store) transparently.
 * ``repro.fleet.FleetExecutor`` (selected via ``REPRO_EXECUTOR=fleet``)
   — schedules runs across the simulated IBMQ device fleet with
   transient-aware routing and a persistent job store
   (``REPRO_FLEET_DB``); results remain bit-identical.
 
-:func:`default_executor` picks an executor from the environment
-(``REPRO_EXECUTOR``, ``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
-``REPRO_FLEET_DB``) so existing entry points gain parallelism, caching
-and fleet scheduling without signature changes.
+:func:`executor_for` is the one place ``REPRO_EXECUTOR``/
+``REPRO_JOBS``/``REPRO_STORE``/``REPRO_CACHE_DIR``/``REPRO_FLEET_DB``
+resolution lives; :func:`default_executor` is its environment-only
+shorthand, so existing entry points gain parallelism, caching and fleet
+scheduling without signature changes.
 """
 
 from __future__ import annotations
@@ -34,7 +37,8 @@ from typing import List, Optional, Protocol, Sequence, Union, runtime_checkable
 from repro.runtime.execute import execute_run
 from repro.runtime.results import PlanResult, RunResult
 from repro.runtime.spec import ExperimentPlan, RunSpec
-from repro.utils.serialization import load_json, save_json
+from repro.store.store import STORE_ENV, ExperimentStore
+from repro.utils.serialization import load_json
 
 
 @runtime_checkable
@@ -93,40 +97,71 @@ class ParallelExecutor(BaseExecutor):
 
 
 class CachedExecutor(BaseExecutor):
-    """Disk-cache wrapper around another executor.
+    """Experiment-store cache wrapper around another executor.
 
-    Results are stored as one JSON file per run under ``cache_dir``,
-    named by the spec's content-hash ``run_id``. A cached file whose
-    embedded spec does not match the requested spec (hash collision or a
-    stale schema) is treated as a miss and overwritten.
+    Results persist in an :class:`~repro.store.ExperimentStore` keyed by
+    each spec's content-hash ``run_id``. The first argument is either an
+    open store (shared with the caller, not closed by this executor) or
+    a path: a ``.sqlite``/``.db`` file, or a directory that holds
+    ``store.sqlite``. For directories, per-run ``<run_id>.json`` files
+    from the pre-store cache layout are still honored — a legacy hit is
+    served and ingested into the store, so old cache dirs migrate
+    themselves on use. A stored entry whose embedded spec does not match
+    the requested spec (hash collision or a stale schema) is treated as
+    a miss and overwritten.
     """
 
     def __init__(
         self,
-        cache_dir: Union[str, Path],
+        store: Union[str, Path, ExperimentStore],
         inner: Optional[BaseExecutor] = None,
     ):
-        self.cache_dir = Path(cache_dir)
+        if isinstance(store, ExperimentStore):
+            self.store = store
+            self.cache_dir: Optional[Path] = None
+            self._owns_store = False
+        else:
+            self.cache_dir = (
+                None if Path(store).suffix in (".sqlite", ".sqlite3", ".db")
+                else Path(store)
+            )
+            self.store = ExperimentStore(store)
+            self._owns_store = True
         self.inner = inner if inner is not None else SerialExecutor()
         self.hits = 0
         self.misses = 0
 
-    def _path(self, spec: RunSpec) -> Path:
+    def close(self) -> None:
+        if self._owns_store:
+            self.store.close()
+
+    def _legacy_path(self, spec: RunSpec) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
         return self.cache_dir / f"{spec.run_id}.json"
 
     def _load(self, spec: RunSpec) -> Optional[RunResult]:
-        path = self._path(spec)
-        if not path.exists():
-            return None
-        try:
-            cached = RunResult.from_dict(load_json(path))
-        except (ValueError, KeyError, TypeError):
-            return None
-        if cached.spec != spec:
+        cached = self.store.get(spec.run_id)
+        if cached is None:
+            cached = self._load_legacy(spec)
+            if cached is not None:
+                # Self-migrating cache dir: serve the legacy file and
+                # ingest it so the next read comes from the store.
+                self.store.append(cached, source="import")
+        if cached is None or cached.spec != spec:
             return None
         cached.from_cache = True
         cached.elapsed_s = 0.0
         return cached
+
+    def _load_legacy(self, spec: RunSpec) -> Optional[RunResult]:
+        path = self._legacy_path(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            return RunResult.from_dict(load_json(path))
+        except (ValueError, KeyError, TypeError):
+            return None
 
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         specs = list(specs)
@@ -142,29 +177,36 @@ class CachedExecutor(BaseExecutor):
         if missing:
             fresh = self.inner.run([specs[i] for i in missing])
             for index, run in zip(missing, fresh):
-                save_json(self._path(run.spec), run.to_dict())
+                self.store.append(run)
                 out[index] = run
         return [run for run in out if run is not None]
 
 
-def default_executor(
+def executor_for(
+    kind: Optional[str] = None,
+    *,
+    store: Optional[Union[str, Path, ExperimentStore]] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    max_workers: Optional[int] = None,
 ) -> BaseExecutor:
-    """Build an executor from the environment.
+    """The one place executor construction and env resolution live.
 
-    ``REPRO_EXECUTOR=parallel`` selects the process-pool executor
-    (``REPRO_JOBS`` caps its workers); ``REPRO_EXECUTOR=fleet`` selects
-    the transient-aware device-fleet executor (``REPRO_FLEET_DB`` names
-    its persistent job store); anything else — including unset — is
-    serial. ``REPRO_CACHE_DIR`` (or the ``cache_dir`` argument, which
-    wins) wraps the executor in a disk cache.
+    ``kind`` is ``'serial'``/``'parallel'``/``'fleet'`` (default: the
+    ``REPRO_EXECUTOR`` knob; ``REPRO_JOBS`` caps parallel workers unless
+    ``max_workers`` is given; ``REPRO_FLEET_DB``/``REPRO_FLEET_MACHINES``
+    shape the fleet). The caching layer resolves in precedence order
+    ``store`` argument > ``cache_dir`` argument > ``REPRO_STORE`` >
+    ``REPRO_CACHE_DIR``; when any of them names a target, the executor
+    is wrapped in a store-backed :class:`CachedExecutor`.
     """
-    kind = os.environ.get("REPRO_EXECUTOR", "serial").strip().lower()
+    kind = (
+        kind if kind is not None else os.environ.get("REPRO_EXECUTOR", "serial")
+    ).strip().lower()
     if kind in ("parallel", "process", "processes"):
-        jobs = os.environ.get("REPRO_JOBS", "").strip()
-        inner: BaseExecutor = ParallelExecutor(
-            max_workers=int(jobs) if jobs else None
-        )
+        if max_workers is None:
+            jobs = os.environ.get("REPRO_JOBS", "").strip()
+            max_workers = int(jobs) if jobs else None
+        inner: BaseExecutor = ParallelExecutor(max_workers=max_workers)
     elif kind == "fleet":
         # Local import: repro.fleet builds on this module.
         from repro.fleet.executor import fleet_executor_from_env
@@ -177,10 +219,24 @@ def default_executor(
             f"unknown REPRO_EXECUTOR {kind!r}; "
             "use 'serial', 'parallel' or 'fleet'"
         )
-    cache = cache_dir or os.environ.get("REPRO_CACHE_DIR", "").strip()
-    if cache:
-        return CachedExecutor(cache, inner=inner)
+    target: Optional[Union[str, Path, ExperimentStore]] = store
+    if target is None:
+        target = cache_dir
+    if target is None:
+        target = os.environ.get(STORE_ENV, "").strip() or None
+    if target is None:
+        target = os.environ.get("REPRO_CACHE_DIR", "").strip() or None
+    if target is not None:
+        return CachedExecutor(target, inner=inner)
     return inner
+
+
+def default_executor(
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> BaseExecutor:
+    """Build an executor purely from the environment (see
+    :func:`executor_for`; ``cache_dir`` wins over the env knobs)."""
+    return executor_for(cache_dir=cache_dir)
 
 
 def run_plan(

@@ -11,6 +11,7 @@ the executor cache.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
@@ -73,6 +74,25 @@ class RunResult:
             ground_truth=float(data["ground_truth"]),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
         )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Deprecated shim: append to an experiment store instead.
+
+        Kept one release for callers that persist single runs as JSON;
+        the emitted file stays byte-compatible with the legacy cache
+        layout (and ``import-legacy`` ingests it).
+        """
+        warnings.warn(
+            "RunResult.save() is deprecated; append to an "
+            "ExperimentStore (repro.store) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return save_json(path, self.to_dict())  # repro: allow-direct-result-dump
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunResult":
+        return cls.from_dict(load_json(path))
 
 
 ComparisonKey = Tuple[str, int, float]
@@ -191,7 +211,19 @@ class PlanResult:
         )
 
     def save(self, path: Union[str, Path]) -> Path:
-        return save_json(path, self.to_dict())
+        """Deprecated shim: export through the experiment store instead
+        (:func:`repro.store.export_plan_result`).
+
+        Kept one release; the emitted JSON is unchanged, so existing
+        consumers of saved plan results keep working.
+        """
+        warnings.warn(
+            "PlanResult.save() is deprecated; record runs in an "
+            "ExperimentStore and use repro.store.export_plan_result()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return save_json(path, self.to_dict())  # repro: allow-direct-result-dump
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "PlanResult":

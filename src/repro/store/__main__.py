@@ -1,0 +1,5 @@
+import sys
+
+from repro.store.cli import main
+
+sys.exit(main())

@@ -1,0 +1,58 @@
+"""Store-backed export to the legacy result-file formats.
+
+The one sanctioned place where store contents are written back out as
+JSON files — callers that used to dump ``PlanResult``/``RunResult``
+objects directly (fleet CLI ``--out``, notebooks) now export through
+the store so the file is guaranteed to reflect stored, deduped runs.
+The emitted JSON is byte-compatible with ``PlanResult.save()`` /
+``RunResult`` dicts, so existing consumers keep working.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.store.query import RunQuery
+from repro.store.store import ExperimentStore
+from repro.utils.serialization import save_json
+
+
+def export_plan_result(
+    store: ExperimentStore,
+    run_ids: Sequence[str],
+    path: Union[str, Path],
+    plan: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write the named runs as a ``PlanResult``-format JSON file.
+
+    Runs come back in the order given (the plan's expansion order), not
+    append order, so the file is interchangeable with what
+    ``executor.run_plan(plan).save(path)`` used to produce.
+    """
+    stored = {
+        s.run_id: s for s in store.query_runs(RunQuery(run_ids=tuple(run_ids)))
+    }
+    missing = [rid for rid in run_ids if rid not in stored]
+    if missing:
+        raise KeyError(f"store is missing {len(missing)} run(s): {missing[:3]}")
+    runs = [stored[rid].to_run_result(from_cache=False) for rid in run_ids]
+    payload = {"plan": plan, "runs": [run.to_dict() for run in runs]}
+    return save_json(path, payload)
+
+
+def export_runs(
+    store: ExperimentStore,
+    query: Optional[RunQuery],
+    directory: Union[str, Path],
+) -> int:
+    """Write matching runs as per-run ``<run_id>.json`` files (the legacy
+    ``CachedExecutor`` cache layout); returns how many were written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    count = 0
+    for stored in store.query_runs(query):
+        run = stored.to_run_result(from_cache=False)
+        save_json(directory / f"{stored.run_id}.json", run.to_dict())
+        count += 1
+    return count

@@ -1,0 +1,205 @@
+"""Store schema: versioned tables + forward migrations.
+
+The experiment store's on-disk layout is versioned through a
+``store_meta`` row (``schema_version``). Opening a store at an older
+version applies every forward migration in order inside one transaction
+per step; opening a *newer* store fails loudly rather than corrupting it.
+
+Version history:
+
+* **v1** — one wide ``runs`` table with the result payload inlined as a
+  JSON column (the initial lakehouse layout).
+* **v2** (current) — content-addressed payloads: run rows carry a
+  ``payload_hash`` into a shared ``blobs`` table (identical payloads are
+  stored once, integrity is checkable by re-hashing), an autoincrement
+  ``seq`` records append order (the watermark basis for incremental
+  materialized aggregates), and the ``matviews`` / ``matview_watermarks``
+  tables hold per-cell improvement ratios plus the high-water mark of the
+  last materialization.
+
+Migrations move payload text **verbatim** — a v1 store migrated to v2
+serves bit-identical payloads (asserted in
+``tests/test_store_migration.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+from typing import Callable, Dict
+
+#: Current on-disk schema version.
+SCHEMA_VERSION = 2
+
+#: The v1 layout, kept for migration tests and ``create_v1_store``.
+V1_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       TEXT PRIMARY KEY,
+    app          TEXT NOT NULL,
+    scheme       TEXT NOT NULL,
+    seed         INTEGER NOT NULL,
+    shots        INTEGER NOT NULL,
+    trace_scale  REAL NOT NULL,
+    iterations   INTEGER NOT NULL,
+    device       TEXT,
+    source       TEXT NOT NULL DEFAULT 'executor',
+    ground_truth REAL NOT NULL,
+    elapsed_s    REAL NOT NULL DEFAULT 0.0,
+    created_at   TEXT NOT NULL DEFAULT '',
+    spec         TEXT NOT NULL,
+    payload      TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+#: The current (v2) layout.
+V2_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    seq          INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id       TEXT NOT NULL UNIQUE,
+    app          TEXT NOT NULL,
+    scheme       TEXT NOT NULL,
+    seed         INTEGER NOT NULL,
+    shots        INTEGER NOT NULL,
+    trace_scale  REAL NOT NULL,
+    iterations   INTEGER NOT NULL,
+    device       TEXT,
+    source       TEXT NOT NULL DEFAULT 'executor',
+    ground_truth REAL NOT NULL,
+    elapsed_s    REAL NOT NULL DEFAULT 0.0,
+    created_at   TEXT NOT NULL DEFAULT '',
+    spec         TEXT NOT NULL,
+    payload_hash TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS runs_app_scheme ON runs (app, scheme);
+CREATE INDEX IF NOT EXISTS runs_cell ON runs (app, seed, trace_scale);
+CREATE TABLE IF NOT EXISTS blobs (
+    hash TEXT PRIMARY KEY,
+    data TEXT NOT NULL,
+    size INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS matviews (
+    view       TEXT NOT NULL,
+    cell       TEXT NOT NULL,
+    scheme     TEXT NOT NULL,
+    ratio      REAL NOT NULL,
+    cell_order INTEGER NOT NULL,
+    PRIMARY KEY (view, cell, scheme)
+);
+CREATE TABLE IF NOT EXISTS matview_watermarks (
+    view      TEXT PRIMARY KEY,
+    watermark INTEGER NOT NULL,
+    baseline  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+class SchemaError(RuntimeError):
+    """The store's on-disk schema cannot be used by this code version."""
+
+
+def payload_hash(payload: str) -> str:
+    """Content address of one canonical payload text."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _get_version(conn: sqlite3.Connection) -> int:
+    """Schema version of an open database (0 = no store tables yet)."""
+    row = conn.execute(
+        "SELECT name FROM sqlite_master WHERE type='table' AND name='store_meta'"
+    ).fetchone()
+    if row is None:
+        # A bare `runs` table without store_meta is not ours to touch.
+        return 0
+    value = conn.execute(
+        "SELECT value FROM store_meta WHERE key='schema_version'"
+    ).fetchone()
+    return int(value[0]) if value is not None else 0
+
+
+def _set_version(conn: sqlite3.Connection, version: int) -> None:
+    conn.execute(
+        "INSERT INTO store_meta (key, value) VALUES ('schema_version', ?)"
+        " ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+        (str(version),),
+    )
+
+
+def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
+    """Inline payloads -> content-addressed blobs + append-order ``seq``.
+
+    Payload text moves verbatim; append order is preserved by walking the
+    v1 table in rowid order so ``seq`` reproduces the original insertion
+    sequence (the matview watermark basis).
+    """
+    conn.execute("ALTER TABLE runs RENAME TO runs_v1")
+    conn.executescript(V2_SCHEMA)
+    rows = conn.execute("SELECT * FROM runs_v1 ORDER BY rowid").fetchall()
+    for row in rows:
+        digest = payload_hash(row["payload"])
+        conn.execute(
+            "INSERT OR IGNORE INTO blobs (hash, data, size) VALUES (?, ?, ?)",
+            (digest, row["payload"], len(row["payload"])),
+        )
+        conn.execute(
+            "INSERT INTO runs (run_id, app, scheme, seed, shots, trace_scale,"
+            " iterations, device, source, ground_truth, elapsed_s, created_at,"
+            " spec, payload_hash)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                row["run_id"], row["app"], row["scheme"], row["seed"],
+                row["shots"], row["trace_scale"], row["iterations"],
+                row["device"], row["source"], row["ground_truth"],
+                row["elapsed_s"], row["created_at"], row["spec"], digest,
+            ),
+        )
+    conn.execute("DROP TABLE runs_v1")
+
+
+#: Forward migrations: from-version -> migration function.
+MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
+    1: _migrate_v1_to_v2,
+}
+
+
+def ensure_schema(conn: sqlite3.Connection) -> int:
+    """Create (or migrate) the store tables; returns the migrated-from
+    version (``SCHEMA_VERSION`` when nothing had to move)."""
+    version = _get_version(conn)
+    if version == 0:
+        conn.executescript(V2_SCHEMA)
+        _set_version(conn, SCHEMA_VERSION)
+        conn.commit()
+        return SCHEMA_VERSION
+    if version > SCHEMA_VERSION:
+        raise SchemaError(
+            f"store schema v{version} is newer than this code "
+            f"(supports up to v{SCHEMA_VERSION})"
+        )
+    original = version
+    while version < SCHEMA_VERSION:
+        migrate = MIGRATIONS.get(version)
+        if migrate is None:
+            raise SchemaError(f"no migration from store schema v{version}")
+        migrate(conn)
+        version += 1
+        _set_version(conn, version)
+        conn.commit()
+    return original
+
+
+def create_v1_store(conn: sqlite3.Connection) -> None:
+    """Lay down the historical v1 schema (migration tests / fixtures)."""
+    conn.executescript(V1_SCHEMA)
+    conn.execute(
+        "INSERT INTO store_meta (key, value) VALUES ('schema_version', '1')"
+        " ON CONFLICT(key) DO UPDATE SET value='1'"
+    )
+    conn.commit()

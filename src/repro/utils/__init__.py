@@ -8,9 +8,15 @@ from repro.utils.stats import (
     running_percentile,
     summary,
 )
-from repro.utils.serialization import load_json, save_json
+from repro.utils.serialization import (
+    canonical_json,
+    load_json,
+    save_json,
+    to_jsonable,
+)
 
 __all__ = [
+    "canonical_json",
     "derive_rng",
     "derive_seed",
     "ensure_rng",
@@ -21,4 +27,5 @@ __all__ = [
     "summary",
     "load_json",
     "save_json",
+    "to_jsonable",
 ]

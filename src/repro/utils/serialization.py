@@ -29,6 +29,21 @@ def _to_jsonable(obj: Any) -> Any:
     return obj
 
 
+def to_jsonable(obj: Any) -> Any:
+    """Public alias of the numpy-aware JSON conversion."""
+    return _to_jsonable(obj)
+
+
+def canonical_json(data: Any) -> str:
+    """Byte-stable JSON encoding: sorted keys, no whitespace, numpy-aware.
+
+    The experiment store content-addresses result payloads by hashing
+    this exact text, so two logically-equal payloads always share one
+    blob regardless of who serialized them.
+    """
+    return json.dumps(_to_jsonable(data), sort_keys=True, separators=(",", ":"))
+
+
 def save_json(path: Union[str, Path], data: Any) -> Path:
     """Write ``data`` as pretty-printed JSON, converting numpy types."""
     path = Path(path)

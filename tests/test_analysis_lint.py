@@ -273,6 +273,63 @@ def test_non_cache_named_dict_not_flagged():
     assert len(report) == 0
 
 
+# -- RPR105: result dumps bypassing the experiment store -----------------------
+
+
+def test_direct_save_json_result_dump_flagged():
+    report = lint(
+        """
+        from repro.utils import save_json
+
+        def persist(result):
+            save_json("out.json", result.to_dict())
+        """,
+        path="src/repro/experiments/example.py",
+    )
+    assert codes(report) == ["RPR105"]
+
+
+def test_attribute_save_json_flagged():
+    report = lint(
+        """
+        import repro.utils.serialization as ser
+
+        def persist(result):
+            ser.save_json("out.json", result.to_dict())
+        """,
+        path="src/repro/experiments/example.py",
+    )
+    assert codes(report) == ["RPR105"]
+
+
+def test_store_package_exempt_from_result_dump_rule():
+    code = """
+        from repro.utils import save_json
+
+        def persist(result):
+            save_json("out.json", result.to_dict())
+        """
+    assert len(lint(code, path="src/repro/store/export.py")) == 0
+    assert len(lint(code, path="src/repro/utils/serialization.py")) == 0
+    # fleet/store.py is a *file* named store, not the store package: it
+    # must delegate payloads, so the rule still applies there.
+    assert codes(lint(code, path="src/repro/fleet/store.py")) == ["RPR105"]
+
+
+def test_result_dump_suppression():
+    report = lint(
+        """
+        from repro.utils import save_json
+
+        def persist(result):
+            save_json("out.json", result.to_dict())  # repro: allow-direct-result-dump
+        """,
+        path="src/repro/experiments/example.py",
+    )
+    assert len(report) == 0
+    assert report.suppressed == 1
+
+
 # -- suppression comments ------------------------------------------------------
 
 
@@ -333,9 +390,11 @@ def test_parse_error_reported_not_raised():
 
 
 def test_src_tree_lints_clean():
-    """The acceptance gate: zero errors over src/, with exactly the one
-    sanctioned suppression in utils/rng.py."""
+    """The acceptance gate: zero errors over src/, with exactly the
+    sanctioned suppressions — one in utils/rng.py plus the two
+    deprecation shims in runtime/results.py that still write result
+    JSON directly."""
     report = lint_paths(["src"])
     errors = [d for d in report if d.severity >= Severity.ERROR]
     assert errors == [], "\n".join(d.render() for d in errors)
-    assert report.suppressed == 1
+    assert report.suppressed == 3

@@ -68,12 +68,30 @@ def test_submit_from_plan_file(db, tmp_path, capsys):
     assert "from-file" in out and "1 runs" in out
 
 
-def test_submit_saves_plan_result(db, tmp_path, capsys):
+def test_submit_exports_plan_result(db, tmp_path, capsys):
     out_path = tmp_path / "result.json"
-    assert _submit(db, "--out", str(out_path)) == 0
+    assert _submit(db, "--export", str(out_path)) == 0
     capsys.readouterr()
     payload = json.loads(out_path.read_text())
     assert len(payload["runs"]) == 2
+    assert payload["plan"]["apps"] == ["App1"]
+
+
+def test_submit_out_flag_warns_but_still_exports(db, tmp_path, capsys):
+    out_path = tmp_path / "result.json"
+    with pytest.warns(DeprecationWarning, match="--out is deprecated"):
+        assert _submit(db, "--out", str(out_path)) == 0
+    capsys.readouterr()
+    payload = json.loads(out_path.read_text())
+    assert len(payload["runs"]) == 2
+
+
+def test_stats_reports_stored_results(db, capsys):
+    assert _submit(db) == 0
+    capsys.readouterr()
+    assert main(["stats", "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "stored results: 2" in out
 
 
 def test_status_expect_fails_when_not_all_done(db, capsys):

@@ -111,12 +111,92 @@ def test_cached_executor_rejects_corrupt_entries(tmp_path):
     cached = CachedExecutor(tmp_path / "cache")
     spec = PLAN.expand()[0]
     run = cached.run_one(spec)
-    path = cached._path(spec)
-    assert path.exists()
-    path.write_text("{not json")
+    # Corrupt the stored payload behind the content address: the store
+    # notices the hash mismatch, treats it as a miss and heals the entry.
+    conn = cached.store._conn
+    conn.execute(
+        "UPDATE blobs SET data = ? WHERE hash = "
+        "(SELECT payload_hash FROM runs WHERE run_id = ?)",
+        ("{not json", spec.run_id),
+    )
+    conn.commit()
     again = cached.run_one(spec)
     assert not again.from_cache
     assert again.to_dict()["result"] == run.to_dict()["result"]
+    # ... and the heal sticks: next lookup is a clean hit again.
+    healed = cached.run_one(spec)
+    assert healed.from_cache
+
+
+def test_cached_executor_serves_legacy_json_dir(tmp_path):
+    """Pre-store caches (one JSON file per run) keep working as hits and
+    are ingested into the store on first touch."""
+    import json
+    import warnings
+
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    spec = PLAN.expand()[0]
+    legacy = execute_run(spec)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy.save(cache_dir / f"{spec.run_id}.json")
+
+    counting = CountingExecutor()
+    cached = CachedExecutor(cache_dir, inner=counting)
+    hit = cached.run_one(spec)
+    assert hit.from_cache and counting.executed == 0
+    assert hit.to_dict()["result"] == legacy.to_dict()["result"]
+    # The legacy entry now lives in the store, tagged as an import.
+    stored = cached.store.get_stored(spec.run_id)
+    assert stored is not None and stored.source == "import"
+    assert json.loads(stored.payload) == legacy.result.to_dict()
+
+
+def test_cached_executor_shares_existing_store(tmp_path):
+    from repro.store import ExperimentStore
+
+    with ExperimentStore(tmp_path / "store.sqlite") as store:
+        counting = CountingExecutor()
+        cached = CachedExecutor(store, inner=counting)
+        spec = PLAN.expand()[0]
+        cached.run_one(spec)
+        assert counting.executed == 1
+        assert spec.run_id in store
+        # A second executor over the same store sees the hit.
+        warm = CachedExecutor(store, inner=counting)
+        assert warm.run_one(spec).from_cache
+        assert counting.executed == 1
+
+
+def test_executor_for_resolution(monkeypatch, tmp_path):
+    from repro.runtime import executor_for
+    from repro.store import ExperimentStore
+
+    for env in ("REPRO_EXECUTOR", "REPRO_CACHE_DIR", "REPRO_STORE", "REPRO_JOBS"):
+        monkeypatch.delenv(env, raising=False)
+
+    assert isinstance(executor_for(), SerialExecutor)
+    assert isinstance(executor_for("parallel"), ParallelExecutor)
+    assert executor_for("parallel", max_workers=2).max_workers == 2
+
+    # Explicit store argument wins over everything.
+    with ExperimentStore(tmp_path / "explicit.sqlite") as store:
+        cached = executor_for(store=store)
+        assert isinstance(cached, CachedExecutor)
+        assert cached.store is store
+
+    # REPRO_STORE picks a sqlite-backed cache ...
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store.sqlite"))
+    cached = executor_for()
+    assert isinstance(cached, CachedExecutor)
+    assert cached.store.path == str(tmp_path / "env-store.sqlite")
+    cached.close()
+
+    # ... but an explicit cache_dir argument still beats the env knob.
+    cached = executor_for(cache_dir=tmp_path / "dir-cache")
+    assert cached.cache_dir == tmp_path / "dir-cache"
+    cached.close()
 
 
 def test_comparisons_refuses_lossy_overrides_regrouping():

@@ -1,0 +1,170 @@
+"""Schema migrations and legacy-cache ingestion round-trips."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.runtime import CachedExecutor, ExperimentPlan, SerialExecutor
+from repro.store import ExperimentStore, RunQuery, SchemaError, payload_hash
+from repro.store.schema import SCHEMA_VERSION, create_v1_store
+from repro.utils.serialization import canonical_json
+
+PLAN = ExperimentPlan(
+    apps=("App1",),
+    schemes=("baseline", "qismet"),
+    iterations=5,
+    seeds=(3, 4),
+)
+
+
+def _v1_store(path, runs):
+    """Lay down a v1-layout store file holding the given runs inline."""
+    conn = sqlite3.connect(str(path))
+    conn.row_factory = sqlite3.Row
+    create_v1_store(conn)
+    for run in runs:
+        conn.execute(
+            "INSERT INTO runs (run_id, app, scheme, seed, shots, trace_scale,"
+            " iterations, device, source, ground_truth, elapsed_s, created_at,"
+            " spec, payload) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                run.run_id,
+                run.spec.app_name,
+                run.spec.scheme,
+                run.spec.seed,
+                run.spec.shots,
+                run.spec.trace_scale,
+                run.spec.iterations,
+                None,
+                "executor",
+                float(run.ground_truth),
+                float(run.elapsed_s),
+                "2026-01-01T00:00:00+00:00",
+                canonical_json(run.spec.to_dict()),
+                canonical_json(run.result.to_dict()),
+            ),
+        )
+    conn.commit()
+    conn.close()
+
+
+def test_v1_to_v2_migration_preserves_payload_bits(tmp_path):
+    runs = SerialExecutor().run_plan(PLAN).runs
+    db = tmp_path / "store.sqlite"
+    _v1_store(db, runs)
+    v1_payloads = {
+        run.run_id: canonical_json(run.result.to_dict()) for run in runs
+    }
+
+    with ExperimentStore(db) as store:
+        assert store.migrated_from == 1
+        # every payload moved verbatim: byte-equal text, matching address
+        for stored in store.query_runs():
+            assert stored.payload == v1_payloads[stored.run_id]
+        # append order survives as seq order
+        assert store.run_ids() == [run.run_id for run in runs]
+        # the migrated store is fully functional: aggregate + materialize
+        direct = store.aggregate(RunQuery(run_ids=[r.run_id for r in runs]))
+        store.materialize()
+        assert store.aggregate_materialized() == direct
+
+    # reopening is a no-op migration
+    with ExperimentStore(db) as store:
+        assert store.migrated_from == SCHEMA_VERSION
+
+
+def test_v1_duplicate_payloads_collapse_into_one_blob(tmp_path):
+    runs = SerialExecutor().run_plan(PLAN).runs
+    db = tmp_path / "store.sqlite"
+    # two v1 rows with identical payload text (a synthetic duplicate):
+    # content addressing must collapse them into one blob
+    dup = runs[:1] * 1
+    _v1_store(db, runs)
+    conn = sqlite3.connect(str(db))
+    conn.execute(
+        "INSERT INTO runs SELECT 'copy-of-first', app, scheme, seed, shots,"
+        " trace_scale, iterations, device, source, ground_truth, elapsed_s,"
+        " created_at, spec, payload FROM runs WHERE run_id = ?",
+        (dup[0].run_id,),
+    )
+    conn.commit()
+    conn.close()
+
+    with ExperimentStore(db) as store:
+        payload = canonical_json(dup[0].result.to_dict())
+        count = store._conn.execute(
+            "SELECT COUNT(*) FROM blobs WHERE hash = ?",
+            (payload_hash(payload),),
+        ).fetchone()[0]
+        assert count == 1
+        assert len(store) == len(runs) + 1
+
+
+def test_future_schema_refused(tmp_path):
+    db = tmp_path / "store.sqlite"
+    with ExperimentStore(db):
+        pass
+    conn = sqlite3.connect(str(db))
+    conn.execute(
+        "UPDATE store_meta SET value = ? WHERE key = 'schema_version'",
+        (str(SCHEMA_VERSION + 1),),
+    )
+    conn.commit()
+    conn.close()
+    with pytest.raises(SchemaError, match="newer than this code"):
+        ExperimentStore(db)
+
+
+def test_import_legacy_cached_executor_dir(tmp_path):
+    """A pre-store CachedExecutor cache directory ingests cleanly and
+    dedupes on run_id against runs already stored."""
+    import warnings
+
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    runs = SerialExecutor().run_plan(PLAN).runs
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for run in runs:
+            run.save(cache_dir / f"{run.run_id}.json")
+    (cache_dir / "garbage.json").write_text("{not json")
+
+    with ExperimentStore() as store:
+        # pre-seed one run: the import must skip it (run_id dedupe)
+        store.append(runs[0])
+        report = store.import_legacy(cache_dir)
+        assert report == {
+            "ingested": len(runs) - 1,
+            "skipped": 1,
+            "errors": 1,
+        }
+        assert len(store) == len(runs)
+        for run in runs:
+            stored = store.get_stored(run.run_id)
+            assert json.loads(stored.payload) == run.result.to_dict()
+        # pre-seeded run keeps its original source; imports are tagged
+        assert store.get_stored(runs[0].run_id).source == "executor"
+        assert store.get_stored(runs[1].run_id).source == "import"
+
+
+def test_cached_executor_upgrades_legacy_dir_in_place(tmp_path):
+    """Pointing today's CachedExecutor at a legacy JSON cache directory
+    works without re-execution and grows a store.sqlite alongside."""
+    import warnings
+
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    specs = PLAN.expand()
+    runs = SerialExecutor().run(specs)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for run in runs:
+            run.save(cache_dir / f"{run.run_id}.json")
+
+    cached = CachedExecutor(cache_dir)
+    out = cached.run(specs)
+    assert all(run.from_cache for run in out)
+    assert (cache_dir / "store.sqlite").exists()
+    assert len(cached.store) == len(specs)
+    cached.close()
