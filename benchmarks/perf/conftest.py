@@ -121,11 +121,47 @@ def _dedicated_perf_run(session) -> bool:
     )
 
 
+def _traced_phases() -> Dict[str, object]:
+    """One traced end-to-end run -> per-phase self-time shares.
+
+    Shares are within-run normalized (they sum to ~coverage), so like the
+    normalized benchmark times they survive runner-speed differences;
+    ``tools/check_bench.py`` compares them tolerantly (first appearance
+    never gates).
+    """
+    from repro.obs import TRACER
+    from repro.obs.report import build_report
+    from repro.runtime.execute import execute_run
+    from repro.runtime.spec import RunSpec
+
+    TRACER.reset()
+    TRACER.configure(enabled=True, kernel_stride=16)
+    try:
+        execute_run(RunSpec(app="App1", scheme="baseline", iterations=5))
+        report = build_report(tracer=TRACER)
+    finally:
+        TRACER.configure(enabled=False)
+        TRACER.reset()
+    return {
+        "workload": "execute_run(App1, baseline, iterations=5)",
+        "wall_s": round(report["wall_s"], 6),
+        "coverage": round(report["coverage"], 4),
+        "shares": {
+            category: round(bucket["share"], 4)
+            for category, bucket in report["phases"].items()
+        },
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
     if not _RESULTS or exitstatus not in (0,):
         return
     if not _dedicated_perf_run(session):
         return
+    try:
+        phases = _traced_phases()
+    except Exception:  # phases are informative; never fail the bench write
+        phases = None
     payload = {
         "schema": 1,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -139,4 +175,6 @@ def pytest_sessionfinish(session, exitstatus):
         "benchmarks": dict(sorted(_RESULTS.items())),
         "derived": _derived(_RESULTS),
     }
+    if phases is not None:
+        payload["phases"] = phases
     BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -90,6 +90,9 @@ CODE_TABLE: Dict[str, CodeSpec] = {
         CodeSpec("RPR105", "direct-result-dump", Severity.ERROR,
                  "result payload written with save_json outside repro/store/ "
                  "(bypasses the experiment store)"),
+        CodeSpec("RPR106", "direct-timing", Severity.ERROR,
+                 "direct time.time()/perf_counter()/monotonic() call outside "
+                 "repro/obs/ (bypasses the observability clock)"),
     ]
 }
 

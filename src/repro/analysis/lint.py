@@ -23,6 +23,11 @@ run is bit-identically seeded):
   defines it): result payloads belong in the experiment store, where
   they are content-addressed, deduped and queryable, not in loose JSON
   files.
+* **RPR106 / direct-timing** — ``time.time()`` / ``time.perf_counter()``
+  / ``time.monotonic()`` (and their ``_ns`` variants) called outside
+  :mod:`repro.obs`: timing routes through the observability clock
+  (``repro.obs.clock`` / ``Stopwatch``) so span timestamps, deadlines
+  and reported wall clocks stay mutually comparable.
 
 Findings are silenced per line with ``# repro: allow-<slug>`` (on the
 offending line or the line directly above).
@@ -47,6 +52,16 @@ RNG_MODULE_SUFFIX = ("utils", "rng.py")
 
 #: The module defining save_json (exempt from the direct-dump rule).
 SERIALIZATION_MODULE_SUFFIX = ("utils", "serialization.py")
+
+#: Clock-reading functions in the time module (RPR106).
+_TIMING_READS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+}
 
 #: np.random attributes that are types/constructors, not stream draws.
 _RANDOM_NON_DRAWS = {
@@ -126,9 +141,12 @@ class _FileLinter(ast.NodeVisitor):
         random_aliases: Set[str],
         default_rng_aliases: Set[str],
         save_json_aliases: Set[str],
+        time_aliases: Set[str],
+        timing_func_aliases: Set[str],
         seed_critical: bool,
         rng_module: bool,
         store_module: bool,
+        obs_module: bool,
     ):
         self.path = path
         self.tree = tree
@@ -138,9 +156,12 @@ class _FileLinter(ast.NodeVisitor):
         self.random_aliases = random_aliases
         self.default_rng_aliases = default_rng_aliases
         self.save_json_aliases = save_json_aliases
+        self.time_aliases = time_aliases
+        self.timing_func_aliases = timing_func_aliases
         self.seed_critical = seed_critical
         self.rng_module = rng_module
         self.store_module = store_module
+        self.obs_module = obs_module
         #: Module-level mutable names that look like caches.
         self.module_caches: Set[str] = set()
         #: Local names currently known to hold a set (per function scope).
@@ -247,6 +268,31 @@ class _FileLinter(ast.NodeVisitor):
                 "content-addressed, deduped and queryable",
             )
 
+    # -- direct-timing rule (RPR106) -------------------------------------------
+
+    def _check_timing_call(self, node: ast.Call) -> None:
+        if self.obs_module:
+            return
+        spelled: Optional[str] = None
+        if isinstance(node.func, ast.Attribute):
+            base = _dotted_name(node.func.value)
+            if base in self.time_aliases and node.func.attr in _TIMING_READS:
+                spelled = f"{base}.{node.func.attr}"
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self.timing_func_aliases
+        ):
+            spelled = node.func.id
+        if spelled is not None:
+            self.emit(
+                "RPR106",
+                f"direct clock read {spelled}() outside repro/obs/",
+                node,
+                hint="route timing through repro.obs "
+                "(clock.perf_counter/monotonic/wall_time or Stopwatch) so "
+                "every timestamp shares one clock",
+            )
+
     # -- set-iteration rule (RPR103) -------------------------------------------
 
     def _is_known_set(self, node: ast.AST) -> bool:
@@ -319,6 +365,7 @@ class _FileLinter(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_rng_call(node)
         self._check_result_dump(node)
+        self._check_timing_call(node)
         if isinstance(node.func, ast.Attribute) and isinstance(
             node.func.value, ast.Name
         ):
@@ -413,12 +460,14 @@ class _FileLinter(ast.NodeVisitor):
 
 def _alias_tables(
     tree: ast.Module,
-) -> Tuple[Set[str], Set[str], Set[str], Set[str]]:
-    """Importable spellings of numpy, numpy.random, default_rng, save_json."""
+) -> Tuple[Set[str], Set[str], Set[str], Set[str], Set[str], Set[str]]:
+    """Importable spellings of numpy/random/default_rng/save_json/time."""
     numpy_aliases: Set[str] = set()
     random_aliases: Set[str] = set()
     default_rng_aliases: Set[str] = set()
     save_json_aliases: Set[str] = set()
+    time_aliases: Set[str] = set()
+    timing_func_aliases: Set[str] = set()
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
@@ -426,6 +475,8 @@ def _alias_tables(
                     numpy_aliases.add(alias.asname or alias.name)
                 elif alias.name == "numpy.random":
                     random_aliases.add(alias.asname or alias.name)
+                elif alias.name == "time":
+                    time_aliases.add(alias.asname or alias.name)
         elif isinstance(node, ast.ImportFrom):
             if node.module == "numpy":
                 for alias in node.names:
@@ -439,7 +490,18 @@ def _alias_tables(
                 for alias in node.names:
                     if alias.name == "save_json":
                         save_json_aliases.add(alias.asname or alias.name)
-    return numpy_aliases, random_aliases, default_rng_aliases, save_json_aliases
+            elif node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIMING_READS:
+                        timing_func_aliases.add(alias.asname or alias.name)
+    return (
+        numpy_aliases,
+        random_aliases,
+        default_rng_aliases,
+        save_json_aliases,
+        time_aliases,
+        timing_func_aliases,
+    )
 
 
 def is_seed_critical(path: Path) -> bool:
@@ -449,6 +511,11 @@ def is_seed_critical(path: Path) -> bool:
 
 def is_rng_module(path: Path) -> bool:
     return path.parts[-2:] == RNG_MODULE_SUFFIX
+
+
+def is_obs_module(path: Path) -> bool:
+    """True inside the ``repro/obs/`` package — the clock's one owner."""
+    return "obs" in path.parts[:-1]
 
 
 def is_store_module(path: Path) -> bool:
@@ -487,6 +554,8 @@ def lint_source(
         random_aliases,
         default_rng_aliases,
         save_json_aliases,
+        time_aliases,
+        timing_func_aliases,
     ) = _alias_tables(tree)
     linter = _FileLinter(
         path,
@@ -497,9 +566,12 @@ def lint_source(
         random_aliases=random_aliases,
         default_rng_aliases=default_rng_aliases,
         save_json_aliases=save_json_aliases,
+        time_aliases=time_aliases,
+        timing_func_aliases=timing_func_aliases,
         seed_critical=is_seed_critical(pure_path),
         rng_module=is_rng_module(pure_path),
         store_module=is_store_module(pure_path),
+        obs_module=is_obs_module(pure_path),
     )
     linter.run()
     return report

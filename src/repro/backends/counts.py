@@ -85,7 +85,7 @@ def default_trajectories() -> int:
         return DEFAULT_TRAJECTORIES
 
 
-def _instance_cache() -> PlanCache:
+def _instance_cache(name: str) -> PlanCache:
     """A per-backend content-keyed LRU for compiled artifacts.
 
     The shared plan cache already dedupes process-wide, but an
@@ -95,7 +95,7 @@ def _instance_cache() -> PlanCache:
     :class:`~repro.compiler.PlanCache` keeps its hot circuits immune to
     that churn (and stays thread-safe for fleet workers).
     """
-    return PlanCache(capacity=_INSTANCE_CACHE_CAPACITY)
+    return PlanCache(capacity=_INSTANCE_CACHE_CAPACITY, name=name)
 
 
 class CountsBackend:
@@ -138,10 +138,11 @@ class CountsBackend:
             raise ValueError(f"unknown noisy engine {engine!r}")
         self._engine = engine
         self._trajectories = trajectories
-        self._lowerings = _instance_cache()
-        self._noise_plans = _instance_cache()
-        self._group_plans = _instance_cache()
-        self._measured_circuits = _instance_cache()
+        # Named so each LRU reports its own cache.counts.* metric family.
+        self._lowerings = _instance_cache("counts.lowerings")
+        self._noise_plans = _instance_cache("counts.noise_plans")
+        self._group_plans = _instance_cache("counts.group_plans")
+        self._measured_circuits = _instance_cache("counts.measured")
 
     # -- engine / cache plumbing ----------------------------------------------
 

@@ -27,8 +27,12 @@ from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameter import Parameter, ParameterExpression
+from repro.obs import METRICS
 
 DEFAULT_PLAN_CACHE_CAPACITY = 256
+
+#: Sentinel distinguishing "no cache entry" from any cached value.
+_MISSING = object()
 
 
 def fusion_enabled() -> bool:
@@ -62,13 +66,24 @@ class PlanCache:
     resize or disable it without rebuilding the singleton.
     """
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None, name: Optional[str] = None):
         self._fixed_capacity = capacity
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        #: Metric family for unprefixed keys.  The shared ``PLAN_CACHE``
+        #: leaves this unset and derives the family from the key prefix
+        #: instead (``plan:`` / ``device:`` / ``noise:``), so plan-cache
+        #: and noise-plan-cache traffic stay separately countable.
+        self.name = name
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def _metric_family(self, key: str) -> str:
+        head, sep, _ = key.partition(":")
+        if sep and head and not self.name:
+            return head
+        return self.name or "plan"
 
     @property
     def capacity(self) -> int:
@@ -88,23 +103,35 @@ class PlanCache:
         are pure functions of the key's content).
         """
         capacity = self.capacity
+        family = self._metric_family(key)
         if capacity <= 0:
             with self._lock:
                 self.misses += 1
+            METRICS.counter(f"cache.{family}.misses").inc()
             return build()
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key]
-            self.misses += 1
+                value = self._entries[key]
+            else:
+                self.misses += 1
+                value = _MISSING
+        if value is not _MISSING:
+            METRICS.counter(f"cache.{family}.hits").inc()
+            return value
+        METRICS.counter(f"cache.{family}.misses").inc()
         value = build()
+        evicted = 0
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                evicted += 1
+        if evicted:
+            METRICS.counter(f"cache.{family}.evictions").inc(evicted)
         return value
 
     def stats(self) -> Dict[str, int]:

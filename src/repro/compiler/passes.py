@@ -33,6 +33,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameter import Parameter
 from repro.circuits.program import compile_circuit
 from repro.compiler.ir import GatePlan, PlanOp, lower_program
+from repro.obs import METRICS, TRACER
 from repro.transpiler.basis import translate_to_basis
 from repro.transpiler.layout import (
     Layout,
@@ -60,6 +61,13 @@ class CompilationUnit:
     metadata: Dict[str, object] = field(default_factory=dict)
 
 
+def _gate_count(unit: CompilationUnit) -> int:
+    """Gate count of the unit's current representation (plan wins)."""
+    if unit.plan is not None:
+        return len(unit.plan.ops)
+    return len(unit.circuit)
+
+
 class Pass:
     """Base class: one named transformation of a :class:`CompilationUnit`."""
 
@@ -77,8 +85,23 @@ class Pipeline:
         self.name = name
 
     def run(self, unit: CompilationUnit) -> CompilationUnit:
-        for pipeline_pass in self.passes:
-            unit = pipeline_pass.run(unit)
+        tracer = TRACER
+        if not tracer.enabled:
+            for pipeline_pass in self.passes:
+                unit = pipeline_pass.run(unit)
+            return unit
+        with tracer.span(
+            f"compile.{self.name}", category="compile",
+            qubits=unit.circuit.num_qubits,
+        ):
+            for pipeline_pass in self.passes:
+                before = _gate_count(unit)
+                with tracer.span(
+                    f"compile.{pipeline_pass.name}", category="compile",
+                    gates_before=before,
+                ) as span:
+                    unit = pipeline_pass.run(unit)
+                    span.set(gates_after=_gate_count(unit))
         return unit
 
     def compile(
@@ -231,7 +254,12 @@ class FuseStaticGates(Pass):
     def run(self, unit: CompilationUnit) -> CompilationUnit:
         if unit.plan is None:
             raise ValueError("FuseStaticGates requires a lowered plan")
+        before = len(unit.plan.ops)
         unit.plan = fuse_plan(unit.plan, max_support=self.max_support)
+        # Fusion efficacy as a metric, not folklore: total ops folded
+        # away by static fusion, process-wide.
+        METRICS.counter("compile.fusion.ops_before").inc(before)
+        METRICS.counter("compile.fusion.ops_after").inc(len(unit.plan.ops))
         return unit
 
 

@@ -27,7 +27,6 @@ from repro.fleet.executor import FLEET_DB_ENV, FleetExecutor
 from repro.fleet.store import DONE, JobStore
 from repro.runtime.spec import ExperimentPlan
 from repro.store.export import export_plan_result
-from repro.store.query import RunQuery
 
 
 def _db_path(args) -> Optional[str]:
@@ -157,19 +156,51 @@ def cmd_status(args) -> int:
 # -- stats -------------------------------------------------------------------
 
 
+def stats_payload(store: JobStore) -> dict:
+    """Assemble the ``stats`` view from the persisted telemetry rollup.
+
+    The rollup is fed by the metrics-registry-backed
+    :class:`~repro.fleet.telemetry.FleetTelemetry` at the end of every
+    drain, so the stored-results breakdown here is the per-device
+    ``completed`` counters — no re-decoding of result payloads on every
+    call.  ``tests/test_fleet_cli.py`` pins this against the
+    store-derived numbers so the shortcut can never drift.
+    """
+    rollup = store.telemetry()
+    devices = rollup["devices"]
+    completed = sum(c["completed"] for c in devices.values())
+    ticks = rollup["ticks"]
+    return {
+        "devices": devices,
+        "ticks": ticks,
+        "completed": completed,
+        "throughput": completed / ticks if ticks else 0.0,
+        "stored_results": {
+            "total": completed,
+            "by_device": {
+                name: c["completed"]
+                for name, c in sorted(devices.items())
+                if c["completed"]
+            },
+        },
+    }
+
+
 def cmd_stats(args) -> int:
     db = _db_path(args)
     if db is None:
         print("stats requires --db or REPRO_FLEET_DB", file=sys.stderr)
         return 2
     with JobStore(db) as store:
-        rollup = store.telemetry()
-        stored = store.results.query_runs(RunQuery(sources="fleet"))
-    devices = rollup["devices"]
+        payload = stats_payload(store)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    devices = payload["devices"]
     if not devices:
         print("no telemetry recorded yet")
         return 0
-    total_completed = sum(c["completed"] for c in devices.values()) or 1
+    total_completed = payload["completed"] or 1
     rows = [
         [
             name,
@@ -194,18 +225,16 @@ def cmd_stats(args) -> int:
             "share",
         ],
     )
-    ticks = rollup["ticks"]
-    completed = sum(c["completed"] for c in devices.values())
+    ticks = payload["ticks"]
+    completed = payload["completed"]
     if ticks:
         print(f"\nthroughput: {completed / ticks:.2f} jobs/tick over {ticks} ticks")
-    if stored:
-        per_device: dict = {}
-        for run in stored:
-            per_device[run.device or "-"] = per_device.get(run.device or "-", 0) + 1
+    stored = payload["stored_results"]
+    if stored["total"]:
         breakdown = ", ".join(
-            f"{name}={n}" for name, n in sorted(per_device.items())
+            f"{name}={n}" for name, n in sorted(stored["by_device"].items())
         )
-        print(f"stored results: {len(stored)} ({breakdown})")
+        print(f"stored results: {stored['total']} ({breakdown})")
     return 0
 
 
@@ -282,6 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="dump the telemetry rollup")
     stats.add_argument("--db", help=f"job store path (or {FLEET_DB_ENV})")
+    stats.add_argument(
+        "--json", action="store_true", help="emit the rollup as JSON"
+    )
     stats.set_defaults(func=cmd_stats)
 
     devices = sub.add_parser("devices", help="list fleet machines")

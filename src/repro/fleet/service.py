@@ -28,7 +28,6 @@ the job still has budget), and advance the clock as jobs finish.
 from __future__ import annotations
 
 import threading
-import time
 import traceback
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
@@ -37,6 +36,7 @@ from repro.fleet.registry import DeviceFleet, FleetDevice
 from repro.fleet.scheduler import SchedulerConfig, TransientAwareScheduler
 from repro.fleet.store import DONE, FAILED, JobStore
 from repro.fleet.telemetry import FLEET_WIDE, FleetTelemetry
+from repro.obs import TRACER, monotonic
 from repro.runtime.execute import execute_run
 from repro.runtime.results import PlanResult, RunResult
 from repro.runtime.spec import ExperimentPlan, RunSpec
@@ -89,6 +89,9 @@ class FleetService:
         self._persisted_span = 0
         #: run_ids that were satisfied straight from the store this session.
         self.store_hits = 0
+        #: the active drain's span; worker threads attach their job spans
+        #: under it so the trace reassembles into one tree per drain.
+        self._drain_span = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -191,23 +194,31 @@ class FleetService:
         self._warm_plan_cache()
         pool = WorkerPool(self.fleet, self._run_on_device)
         pool.start()
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else monotonic() + timeout
+        with self._wake:
+            queued = len(self._pending)
+        span = TRACER.span("fleet.drain", category="fleet", queued=queued)
         try:
-            while True:
-                with self._wake:
-                    if not self._pending and self._inflight == 0:
-                        return
-                    job = self._pending.popleft() if self._pending else None
-                if job is None:
+            with span:
+                self._drain_span = span
+                while True:
                     with self._wake:
-                        if self._pending or self._inflight == 0:
-                            continue
-                        self._wake.wait(timeout=0.05)
+                        if not self._pending and self._inflight == 0:
+                            return
+                        job = (
+                            self._pending.popleft() if self._pending else None
+                        )
+                    if job is None:
+                        with self._wake:
+                            if self._pending or self._inflight == 0:
+                                continue
+                            self._wake.wait(timeout=0.05)
+                        _check_deadline(deadline)
+                        continue
+                    self._dispatch(pool, job)
                     _check_deadline(deadline)
-                    continue
-                self._dispatch(pool, job)
-                _check_deadline(deadline)
         finally:
+            self._drain_span = None
             pool.stop()
             self._persist_telemetry()
 
@@ -237,9 +248,21 @@ class FleetService:
     def _dispatch(self, pool, job: FleetJob) -> None:
         tick = self.clock.now()
         force = job.defers >= self.scheduler.config.defer_budget
-        decision = self.scheduler.route(
-            job.spec, tick, exclude=job.tried, force=force
-        )
+        with TRACER.span(
+            "fleet.dispatch",
+            category="fleet",
+            run_id=job.run_id,
+            tick=tick,
+            force=force,
+        ) as span:
+            decision = self.scheduler.route(
+                job.spec, tick, exclude=job.tried, force=force
+            )
+            span.set(
+                placed=decision.placed,
+                device=decision.device.name if decision.placed else None,
+                deferred_from=len(decision.deferred_from),
+            )
         for verdict in decision.deferred_from:
             self.telemetry.record_deferred(
                 verdict.device,
@@ -283,6 +306,16 @@ class FleetService:
         harness itself (store I/O, telemetry) also fails the job rather
         than killing the device's worker thread and wedging the drain.
         """
+        with TRACER.attach(self._drain_span), TRACER.span(
+            "fleet.job",
+            category="fleet",
+            run_id=job.run_id,
+            device=device.name,
+        ) as span:
+            self._execute_on_device(device, job, span)
+
+    def _execute_on_device(self, device: FleetDevice, job: FleetJob, span) -> None:
+        """Exception-isolating body of :meth:`_run_on_device`."""
         requeue = False
         finished = False
         try:
@@ -299,6 +332,7 @@ class FleetService:
                 self.telemetry.record_deferred(
                     device.name, job.run_id, tick, detail="pre-run re-check"
                 )
+                span.set(outcome="deferred")
                 requeue = True
                 return
             self.store.mark_running(job.run_id, device.name, tick)
@@ -313,11 +347,13 @@ class FleetService:
                 self.telemetry.record_failed(
                     device.name, job.run_id, self.clock.now(), detail=detail
                 )
+                span.set(outcome="failed")
             else:
                 self.store.mark_done(job.run_id, result, self.clock.now())
                 self.telemetry.record_completed(
                     device.name, job.run_id, self.clock.now()
                 )
+                span.set(outcome="completed")
             finished = True
         except Exception as exc:  # harness failure: fail the job, not the worker
             detail = f"fleet internal error on {device.name}: {exc!r}"
@@ -328,6 +364,7 @@ class FleetService:
             self.telemetry.record_failed(
                 device.name, job.run_id, self.clock.now(), detail=detail
             )
+            span.set(outcome="error")
             finished = True
         finally:
             try:
@@ -408,5 +445,5 @@ class FleetService:
 
 
 def _check_deadline(deadline: Optional[float]) -> None:
-    if deadline is not None and time.monotonic() > deadline:
+    if deadline is not None and monotonic() > deadline:
         raise TimeoutError("fleet drain exceeded its timeout")

@@ -1,44 +1,82 @@
 """Fleet telemetry: per-device utilization, deferral and throughput counters.
 
 One :class:`FleetTelemetry` instance is shared by the scheduler, the
-worker pool and the service; every mutation is a single counter bump under
-one lock, so reading a consistent snapshot is cheap. Counters deliberately
-mirror the paper's accept/retry/defer vocabulary: a *deferral* is the
-fleet-level analogue of QISMET deferring an iteration while a transient
-passes — here a whole job is routed away from (or held off) a device whose
-monitored noise is inside a predicted transient window.
+worker pool and the service.  Since the obs layer landed it is a facade
+over :mod:`repro.obs.metrics`: every per-device counter is an
+``obs.metrics.Counter`` in a per-service :class:`MetricsRegistry`
+(services never share device counters), and each bump is mirrored into
+the process-wide ``METRICS`` registry as a ``fleet.<kind>`` total so
+phase reports and the cache scoreboard see fleet activity without
+knowing about services.  The public API and the ``snapshot()`` shape —
+what the CLI prints — are unchanged from the pre-obs implementation.
+
+Counters deliberately mirror the paper's accept/retry/defer vocabulary:
+a *deferral* is the fleet-level analogue of QISMET deferring an
+iteration while a transient passes — here a whole job is routed away
+from (or held off) a device whose monitored noise is inside a predicted
+transient window.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
+
+from repro.obs import METRICS, MetricsRegistry
 
 #: Pseudo-device name for events not attributable to a single machine
 #: (e.g. a job deferred because *every* device was inside a transient
 #: window).
 FLEET_WIDE = "(fleet)"
 
+#: Counter attributes, in snapshot order.
+_COUNTER_ATTRS = ("scheduled", "completed", "failed", "deferred", "cache_hits")
 
-@dataclass
+
 class DeviceCounters:
-    """Per-device lifetime counters."""
+    """Per-device lifetime counters — a view over obs metrics Counters."""
 
-    scheduled: int = 0
-    completed: int = 0
-    failed: int = 0
-    deferred: int = 0
-    cache_hits: int = 0
+    __slots__ = ("_device", "_registry")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        device: str = FLEET_WIDE,
+    ):
+        # A bare DeviceCounters() remains constructible (pre-obs API);
+        # it just owns a private registry nobody else reads.
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._device = device
+
+    def _counter(self, attr: str):
+        return self._registry.counter(f"fleet.{self._device}.{attr}")
+
+    def bump(self, attr: str) -> None:
+        self._counter(attr).inc()
+
+    @property
+    def scheduled(self) -> int:
+        return self._counter("scheduled").value
+
+    @property
+    def completed(self) -> int:
+        return self._counter("completed").value
+
+    @property
+    def failed(self) -> int:
+        return self._counter("failed").value
+
+    @property
+    def deferred(self) -> int:
+        return self._counter("deferred").value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._counter("cache_hits").value
 
     def to_dict(self) -> Dict[str, int]:
-        return {
-            "scheduled": self.scheduled,
-            "completed": self.completed,
-            "failed": self.failed,
-            "deferred": self.deferred,
-            "cache_hits": self.cache_hits,
-        }
+        return {attr: self._counter(attr).value for attr in _COUNTER_ATTRS}
 
 
 @dataclass
@@ -61,16 +99,8 @@ class TelemetryEvent:
         }
 
 
-@dataclass
 class FleetTelemetry:
     """Thread-safe counters + event log for one fleet service."""
-
-    max_events: int = 4096
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
-    devices: Dict[str, DeviceCounters] = field(default_factory=dict)
-    events: List[TelemetryEvent] = field(default_factory=list)
-    first_tick: Optional[int] = None
-    last_tick: int = 0
 
     _COUNTER_FOR_KIND = {
         "scheduled": "scheduled",
@@ -80,13 +110,26 @@ class FleetTelemetry:
         "cache-hit": "cache_hits",
     }
 
+    def __init__(self, max_events: int = 4096):
+        self.max_events = max_events
+        self._lock = threading.Lock()
+        #: Per-service metrics namespace (counter per device per kind).
+        self.metrics = MetricsRegistry()
+        self.devices: Dict[str, DeviceCounters] = {}
+        self.events: List[TelemetryEvent] = []
+        self.first_tick: Optional[int] = None
+        self.last_tick: int = 0
+
     def _record(
         self, tick: int, kind: str, device: str, run_id: str, detail: str = ""
     ) -> None:
         attr = self._COUNTER_FOR_KIND[kind]
         with self._lock:
-            counters = self.devices.setdefault(device, DeviceCounters())
-            setattr(counters, attr, getattr(counters, attr) + 1)
+            counters = self.devices.get(device)
+            if counters is None:
+                counters = DeviceCounters(self.metrics, device)
+                self.devices[device] = counters
+            counters.bump(attr)
             if self.first_tick is None:
                 self.first_tick = tick
             self.last_tick = max(self.last_tick, tick)
@@ -94,6 +137,8 @@ class FleetTelemetry:
                 self.events.append(
                     TelemetryEvent(tick, kind, device, run_id, detail)
                 )
+        # Process-wide totals for phase reports / `repro.obs metrics`.
+        METRICS.counter(f"fleet.{attr}").inc()
 
     # -- recording ----------------------------------------------------------
 

@@ -1,0 +1,55 @@
+"""The one place in the tree allowed to read the clock.
+
+Every timing decision in the codebase routes through these helpers so
+that time has a single owner: RPR106 (``direct-timing``) flags direct
+``time.time()`` / ``time.perf_counter()`` / ``time.monotonic()`` calls
+anywhere outside ``repro/obs/``.  Centralising the clock keeps span
+timestamps, deadline arithmetic and reported wall clocks mutually
+comparable, and gives tests one seam to freeze.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def perf_counter() -> float:
+    """High-resolution monotonic clock for durations (seconds)."""
+    return time.perf_counter()
+
+
+def monotonic() -> float:
+    """Monotonic clock for deadlines and timeouts (seconds)."""
+    return time.monotonic()
+
+
+def wall_time() -> float:
+    """Wall-clock epoch seconds, for human-facing timestamps only.
+
+    Never use this for durations or cache keys: it jumps with NTP and
+    would leak nondeterminism into anything content-addressed.
+    """
+    return time.time()
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall time on the perf clock.
+
+    >>> with Stopwatch() as clock:
+    ...     work()
+    >>> clock.elapsed
+    0.0123...
+    """
+
+    __slots__ = ("start", "elapsed")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = perf_counter() - self.start

@@ -1,0 +1,169 @@
+"""Chrome trace-event export, validation, and store persistence.
+
+The export format is the Chrome/Perfetto trace-event JSON object form:
+``{"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}``
+with one complete ("X") event per span (microsecond ``ts``/``dur``) and
+one metadata ("M") event naming each thread.  Load the file at
+https://ui.perfetto.dev or chrome://tracing.
+
+``otherData`` carries the metrics snapshot and the per-phase summary so
+a single file feeds both ``repro.obs report`` and the cache scoreboard.
+Summaries also persist into ``repro.store`` as a ``traces`` payload
+(schema v3) so profiles survive next to the results they explain.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER, Span, Tracer
+
+#: Event keys required by the trace-event format (all events).
+_REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def chrome_trace_events(tracer: Optional[Tracer] = None) -> List[Dict[str, Any]]:
+    """Flatten the tracer's span trees into Chrome trace events."""
+    tracer = tracer or TRACER
+    events: List[Dict[str, Any]] = []
+    thread_names: Dict[int, str] = {}
+    import os
+
+    pid = os.getpid()
+    for span in tracer.all_spans():
+        tid = span.thread_id or 0
+        thread_names.setdefault(tid, span.thread_name or f"thread-{tid}")
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": max(span.duration, 0.0) * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        if span.attrs:
+            event["args"] = dict(span.attrs)
+        events.append(event)
+    for tid, name in sorted(thread_names.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return events
+
+
+def build_trace_document(tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """The full exportable trace object: events + metrics + phase summary."""
+    from repro.obs.report import phase_breakdown
+
+    tracer = tracer or TRACER
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "metrics": METRICS.snapshot(),
+            "phases": phase_breakdown(tracer=tracer),
+        },
+    }
+
+
+def export_chrome_trace(
+    path: str, tracer: Optional[Tracer] = None
+) -> Dict[str, Any]:
+    """Write the Chrome trace JSON to ``path`` and return the document."""
+    document = build_trace_document(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document
+
+
+def validate_chrome_trace(document: Any) -> List[Dict[str, Any]]:
+    """Check ``document`` against the trace-event schema.
+
+    Accepts either the object form (``{"traceEvents": [...]}``) or the
+    bare event-array form.  Returns the event list on success; raises
+    ``ValueError`` naming the first offending event otherwise.
+    """
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("trace object missing 'traceEvents' list")
+    elif isinstance(document, list):
+        events = document
+    else:
+        raise ValueError(f"not a trace document: {type(document).__name__}")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{index} is not an object")
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in event:
+                raise ValueError(f"event #{index} missing required key {key!r}")
+        if not isinstance(event["name"], str):
+            raise ValueError(f"event #{index}: 'name' must be a string")
+        if not isinstance(event["ph"], str) or not event["ph"]:
+            raise ValueError(f"event #{index}: 'ph' must be a phase letter")
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"event #{index}: 'ts' must be numeric")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"event #{index}: complete event needs numeric 'dur' >= 0"
+                )
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            raise ValueError(f"event #{index}: 'args' must be an object")
+    return events
+
+
+def trace_summary(
+    tracer: Optional[Tracer] = None, label: str = ""
+) -> Dict[str, Any]:
+    """Compact trace + metrics summary suitable for store persistence."""
+    from repro.obs.report import phase_breakdown, root_wall_seconds
+
+    tracer = tracer or TRACER
+    return {
+        "label": label,
+        "wall_s": root_wall_seconds(tracer=tracer),
+        "span_count": len(tracer.all_spans()),
+        "phases": phase_breakdown(tracer=tracer),
+        "metrics": METRICS.snapshot(),
+    }
+
+
+def persist_trace_summary(store, summary: Dict[str, Any]) -> int:
+    """Append a summary to an ``ExperimentStore``'s ``traces`` payloads.
+
+    ``store`` is an ``repro.store.ExperimentStore`` (imported lazily to
+    keep obs free of a hard store dependency).  Returns the trace id.
+    """
+    return store.append_trace(summary, label=summary.get("label", ""))
+
+
+def load_trace_summaries(store, limit: int = 10) -> List[Dict[str, Any]]:
+    """Most-recent-first trace summaries previously persisted in a store."""
+    return store.traces(limit=limit)
+
+
+def span_tree_lines(span: Span, indent: int = 0) -> List[str]:
+    """Render one span tree as indented text (debugging / CLI)."""
+    line = (
+        f"{'  ' * indent}{span.name} [{span.category}] "
+        f"{span.duration * 1e3:.3f} ms"
+    )
+    lines = [line]
+    for child in span.children:
+        lines.extend(span_tree_lines(child, indent + 1))
+    return lines

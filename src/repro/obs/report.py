@@ -1,0 +1,228 @@
+"""Per-phase time breakdown and cache scoreboard.
+
+A report answers "where did the wall clock go": span self-time grouped
+by category (compile / execute / kernel / store / fleet / ...), plus a
+scoreboard of every ``cache.*`` counter family.  Reports build either
+from the live in-process tracer or from an exported Chrome trace file,
+so ``python -m repro.obs report`` works on any run that set
+``REPRO_TRACE_EXPORT``.
+
+Self-time accounting partitions each root span's duration exactly: a
+span's self time is its duration minus its children's durations,
+attributed to its own category.  Summed over the tree this reproduces
+the job span's wall time (separate worker threads add their own busy
+time on top), which is what makes the per-phase table trustworthy.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER, Tracer
+
+#: Containment slack (microseconds) when re-nesting exported events.
+_NEST_EPSILON_US = 1e-3
+
+
+def _tracer_phase_data(tracer: Tracer) -> Tuple[Dict[str, Dict[str, float]], float]:
+    phases: Dict[str, Dict[str, float]] = {}
+    wall = 0.0
+    for root in list(tracer.roots):
+        wall += root.duration
+        for span in root.walk():
+            child_total = sum(child.duration for child in span.children)
+            self_s = max(span.duration - child_total, 0.0)
+            bucket = phases.setdefault(
+                span.category, {"total_s": 0.0, "self_s": 0.0, "count": 0}
+            )
+            bucket["total_s"] += span.duration
+            bucket["self_s"] += self_s
+            bucket["count"] += 1
+    return phases, wall
+
+
+def _events_phase_data(
+    events: Sequence[Dict[str, Any]],
+) -> Tuple[Dict[str, Dict[str, float]], float]:
+    """Re-nest exported complete events per thread and bucket self time.
+
+    Events on one thread nest by interval containment (children start
+    after and end before their parent), so a timestamp-ordered stack
+    walk recovers each event's direct-children duration sum.
+    """
+    phases: Dict[str, Dict[str, float]] = {}
+    wall = 0.0
+    by_tid: Dict[Any, List[Dict[str, Any]]] = {}
+    for event in events:
+        if event.get("ph") == "X":
+            by_tid.setdefault(event.get("tid"), []).append(event)
+
+    def close(frame: List[Any]) -> None:
+        _end, child_us, event = frame
+        dur_us = float(event.get("dur", 0.0))
+        category = event.get("cat", "misc") or "misc"
+        bucket = phases.setdefault(
+            category, {"total_s": 0.0, "self_s": 0.0, "count": 0}
+        )
+        bucket["total_s"] += dur_us / 1e6
+        bucket["self_s"] += max(dur_us - child_us, 0.0) / 1e6
+        bucket["count"] += 1
+
+    for tid_events in by_tid.values():
+        tid_events.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+        stack: List[List[Any]] = []  # [end_ts_us, child_us, event]
+        for event in tid_events:
+            ts = float(event["ts"])
+            dur = float(event.get("dur", 0.0))
+            while stack and ts >= stack[-1][0] - _NEST_EPSILON_US:
+                close(stack.pop())
+            if stack:
+                stack[-1][1] += dur
+            else:
+                wall += dur / 1e6
+            stack.append([ts + dur, 0.0, event])
+        while stack:
+            close(stack.pop())
+    return phases, wall
+
+
+def phase_breakdown(
+    tracer: Optional[Tracer] = None,
+    events: Optional[Sequence[Dict[str, Any]]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Per-category ``{total_s, self_s, count}`` from a tracer or events."""
+    if events is not None:
+        phases, _ = _events_phase_data(events)
+    else:
+        phases, _ = _tracer_phase_data(tracer or TRACER)
+    return phases
+
+
+def root_wall_seconds(
+    tracer: Optional[Tracer] = None,
+    events: Optional[Sequence[Dict[str, Any]]] = None,
+) -> float:
+    """Summed duration of top-level (job) spans."""
+    if events is not None:
+        _, wall = _events_phase_data(events)
+    else:
+        _, wall = _tracer_phase_data(tracer or TRACER)
+    return wall
+
+
+def cache_scoreboard(metrics: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Fold ``cache.<family>.<hits|misses|evictions>`` counters per family."""
+    counters = (
+        metrics.get("counters", {})
+        if metrics is not None
+        else METRICS.snapshot()["counters"]
+    )
+    families: Dict[str, Dict[str, Any]] = {}
+    for name, value in counters.items():
+        if not name.startswith("cache."):
+            continue
+        parts = name.split(".")
+        if len(parts) < 3:
+            continue
+        family, stat = ".".join(parts[1:-1]), parts[-1]
+        if stat not in ("hits", "misses", "evictions"):
+            continue
+        families.setdefault(
+            family, {"hits": 0, "misses": 0, "evictions": 0}
+        )[stat] = value
+    for row in families.values():
+        lookups = row["hits"] + row["misses"]
+        row["hit_rate"] = row["hits"] / lookups if lookups else 0.0
+    return families
+
+
+def build_report(
+    document: Optional[Dict[str, Any]] = None,
+    tracer: Optional[Tracer] = None,
+) -> Dict[str, Any]:
+    """Assemble the report dict from a trace document or the live tracer."""
+    if document is not None:
+        events = [
+            e for e in document.get("traceEvents", []) if isinstance(e, dict)
+        ]
+        phases, wall = _events_phase_data(events)
+        metrics = document.get("otherData", {}).get("metrics", {})
+    else:
+        phases, wall = _tracer_phase_data(tracer or TRACER)
+        metrics = METRICS.snapshot()
+    accounted = sum(bucket["self_s"] for bucket in phases.values())
+    for bucket in phases.values():
+        bucket["share"] = bucket["self_s"] / wall if wall else 0.0
+    return {
+        "wall_s": wall,
+        "accounted_s": accounted,
+        "coverage": accounted / wall if wall else 0.0,
+        "phases": dict(
+            sorted(phases.items(), key=lambda kv: -kv[1]["self_s"])
+        ),
+        "cache": cache_scoreboard({"counters": metrics.get("counters", {})}),
+        "counters": metrics.get("counters", {}),
+    }
+
+
+def render_text(report: Dict[str, Any]) -> str:
+    lines = [
+        f"job wall time: {report['wall_s']:.3f} s "
+        f"(accounted {report['accounted_s']:.3f} s, "
+        f"coverage {report['coverage'] * 100:.1f}%)",
+        "",
+        f"{'phase':<12} {'self (s)':>10} {'total (s)':>10} "
+        f"{'share':>7} {'spans':>7}",
+    ]
+    for category, bucket in report["phases"].items():
+        lines.append(
+            f"{category:<12} {bucket['self_s']:>10.3f} "
+            f"{bucket['total_s']:>10.3f} "
+            f"{bucket['share'] * 100:>6.1f}% {bucket['count']:>7}"
+        )
+    if report["cache"]:
+        lines += ["", f"{'cache':<20} {'hits':>8} {'misses':>8} "
+                      f"{'evict':>6} {'hit rate':>9}"]
+        for family, row in sorted(report["cache"].items()):
+            lines.append(
+                f"{family:<20} {row['hits']:>8} {row['misses']:>8} "
+                f"{row['evictions']:>6} {row['hit_rate'] * 100:>8.1f}%"
+            )
+    return "\n".join(lines)
+
+
+def render_markdown(report: Dict[str, Any]) -> str:
+    lines = [
+        "## Phase breakdown",
+        "",
+        f"Job wall time **{report['wall_s']:.3f} s**, "
+        f"coverage **{report['coverage'] * 100:.1f}%**.",
+        "",
+        "| phase | self (s) | total (s) | share | spans |",
+        "| --- | ---: | ---: | ---: | ---: |",
+    ]
+    for category, bucket in report["phases"].items():
+        lines.append(
+            f"| {category} | {bucket['self_s']:.3f} | {bucket['total_s']:.3f} "
+            f"| {bucket['share'] * 100:.1f}% | {bucket['count']} |"
+        )
+    if report["cache"]:
+        lines += [
+            "",
+            "## Cache scoreboard",
+            "",
+            "| cache | hits | misses | evictions | hit rate |",
+            "| --- | ---: | ---: | ---: | ---: |",
+        ]
+        for family, row in sorted(report["cache"].items()):
+            lines.append(
+                f"| {family} | {row['hits']} | {row['misses']} "
+                f"| {row['evictions']} | {row['hit_rate'] * 100:.1f}% |"
+            )
+    return "\n".join(lines)
+
+
+def render_json(report: Dict[str, Any]) -> str:
+    return json.dumps(report, indent=2, sort_keys=True)

@@ -1,0 +1,282 @@
+"""Context-managed span trees with near-zero disabled overhead.
+
+A :class:`Span` records a name, a category (the "phase" reports group
+by: compile / execute / kernel / store / fleet / ...), free-form attrs
+and a monotonic start + duration.  Spans nest: each thread keeps its
+own current-span stack, and structural mutations (attaching children,
+registering roots) go through one tracer lock so worker threads can
+attach under a job span owned by another thread (see
+:meth:`Tracer.attach`).
+
+Tracing is off by default.  ``REPRO_TRACE=1`` enables it,
+``REPRO_TRACE_SAMPLE=N`` keeps every Nth kernel-site span (the only
+span family hot enough to need rate limiting; ``1`` keeps all, ``0``
+drops all), and ``REPRO_TRACE_EXPORT=path`` writes a Chrome trace at
+process exit.  When disabled, ``Tracer.span()`` returns a shared no-op
+context manager and the hot-loop guard is a single attribute read
+(``TRACER.enabled``), so instrumented kernels stay within noise of
+uninstrumented ones.
+
+Determinism contract: spans never touch content hashes, RNG streams or
+stored result payloads.  Sampling uses a per-thread counter, never an
+RNG, so a traced run consumes exactly the same random numbers as an
+untraced one.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import clock
+
+TRACE_ENV = "REPRO_TRACE"
+SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
+EXPORT_ENV = "REPRO_TRACE_EXPORT"
+
+#: Default kernel-site sampling stride when tracing is on and
+#: ``REPRO_TRACE_SAMPLE`` is unset: keep one site span in 64.  Keeps a
+#: 120-iteration VQE trace in the tens of thousands of events instead
+#: of millions while still feeding the roofline with real samples.
+DEFAULT_KERNEL_STRIDE = 64
+
+
+class Span:
+    """One timed region.  Use via ``TRACER.span(...)`` as a context manager."""
+
+    __slots__ = (
+        "name",
+        "category",
+        "attrs",
+        "start",
+        "duration",
+        "children",
+        "thread_id",
+        "thread_name",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.start = 0.0
+        self.duration = 0.0
+        self.children: List["Span"] = []
+        self.thread_id = 0
+        self.thread_name = ""
+        self._tracer = tracer
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attrs mid-span (e.g. gate counts known only at exit)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        thread = threading.current_thread()
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+        stack = tracer._stack()
+        parent = stack[-1] if stack else None
+        with tracer._lock:
+            if parent is None:
+                tracer.roots.append(self)
+            else:
+                parent.children.append(self)
+        stack.append(self)
+        self.start = clock.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.duration = clock.perf_counter() - self.start
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, category={self.category!r}, "
+            f"duration={self.duration:.6f}, children={len(self.children)})"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Process-wide span collector.
+
+    ``enabled`` is a plain attribute so hot loops can guard on it with
+    one read; everything structural happens under ``_lock``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.roots: List[Span] = []
+        self.enabled = False
+        self.kernel_stride = DEFAULT_KERNEL_STRIDE
+        self.export_path: Optional[str] = None
+        self._refresh_from_env()
+
+    # -- configuration ---------------------------------------------------
+
+    def _refresh_from_env(self) -> None:
+        self.enabled = os.environ.get(TRACE_ENV, "") == "1"
+        self.export_path = os.environ.get(EXPORT_ENV) or None
+        raw = os.environ.get(SAMPLE_ENV, "")
+        if raw:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = float(DEFAULT_KERNEL_STRIDE)
+            if value <= 0:
+                self.kernel_stride = 0
+            elif value < 1:
+                # A rate in (0, 1): keep roughly that fraction of sites.
+                self.kernel_stride = max(1, round(1.0 / value))
+            else:
+                self.kernel_stride = int(value)
+        else:
+            self.kernel_stride = DEFAULT_KERNEL_STRIDE
+
+    def configure(
+        self,
+        enabled: Optional[bool] = None,
+        kernel_stride: Optional[int] = None,
+        export_path: Optional[str] = None,
+    ) -> None:
+        """Override env-derived settings (tests and the CLI use this)."""
+        if enabled is not None:
+            self.enabled = enabled
+        if kernel_stride is not None:
+            self.kernel_stride = kernel_stride
+        if export_path is not None:
+            self.export_path = export_path
+
+    def reset(self) -> None:
+        """Drop all recorded spans and re-read the environment."""
+        with self._lock:
+            self.roots = []
+        self._local = threading.local()
+        self._refresh_from_env()
+
+    # -- span creation ---------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, category: str = "misc", **attrs: Any):
+        """Start a span; returns a context manager (no-op when disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, category, attrs)
+
+    def kernel_span(self, name: str, **attrs: Any):
+        """A sampled per-site span for simulator inner loops.
+
+        Applies the ``REPRO_TRACE_SAMPLE`` stride with a per-thread
+        counter (deterministic, RNG-free): stride N keeps every Nth
+        site span on each thread.  Callers still guard the call itself
+        on ``TRACER.enabled`` so the disabled path costs one attribute
+        read.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        stride = self.kernel_stride
+        if stride <= 0:
+            return NOOP_SPAN
+        count = getattr(self._local, "kernel_count", 0)
+        self._local.kernel_count = count + 1
+        if count % stride:
+            return NOOP_SPAN
+        return Span(self, name, "kernel", attrs)
+
+    @contextmanager
+    def attach(self, parent: Optional[Span]):
+        """Adopt ``parent`` as this thread's current span.
+
+        Fleet worker threads (and any helper threads) run inside
+        ``attach(job_span)`` so their spans reassemble into the job's
+        tree instead of becoming disconnected roots.  Safe to call with
+        ``None`` or while disabled (no-op).
+        """
+        if not self.enabled or parent is None or isinstance(parent, _NoopSpan):
+            yield
+            return
+        stack = self._stack()
+        stack.append(parent)
+        try:
+            yield
+        finally:
+            if stack and stack[-1] is parent:
+                stack.pop()
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def all_spans(self) -> List[Span]:
+        """Every recorded span, depth first from each root."""
+        with self._lock:
+            roots = list(self.roots)
+        spans: List[Span] = []
+        for root in roots:
+            spans.extend(root.walk())
+        return spans
+
+
+#: Process-wide tracer.  Import sites read ``TRACER.enabled`` inline in
+#: hot loops; everything else goes through ``span()`` / ``attach()``.
+TRACER = Tracer()
+
+# Only the process that created the tracer exports at exit.  Forked
+# ProcessPoolExecutor children inherit this pid and therefore skip the
+# atexit export instead of clobbering the parent's trace file.
+_OWNER_PID = os.getpid()
+
+
+def _export_at_exit() -> None:  # pragma: no cover - exercised via CLI/CI
+    if not TRACER.enabled or not TRACER.export_path:
+        return
+    if os.getpid() != _OWNER_PID:
+        return
+    if not TRACER.roots:
+        return
+    from repro.obs.export import export_chrome_trace
+
+    export_chrome_trace(TRACER.export_path)
+
+
+import atexit  # noqa: E402  (registration belongs next to its hook)
+
+atexit.register(_export_at_exit)

@@ -33,13 +33,13 @@ unchanged; ``REPRO_BATCH=0`` forces the serial path for debugging.
 
 from __future__ import annotations
 
-import time
 from typing import List, Sequence
 
 import numpy as np
 
 from repro.experiments.schemes import build_vqe
 from repro.noise.noise_model import NoiseModel
+from repro.obs import TRACER, Stopwatch
 from repro.runtime.results import RunResult
 from repro.runtime.spec import RunSpec, resolve_app
 from repro.utils.rng import derive_seed
@@ -78,46 +78,57 @@ def warm_plan_cache(spec: RunSpec):
 
 def execute_run(spec: RunSpec) -> RunResult:
     """Execute one spec to completion (synchronously, in this process)."""
-    app = resolve_app(spec.app)
-    overrides = spec.override_dict()
-    theta0 = overrides.pop("theta0", None)
+    with TRACER.span(
+        "run.execute", category="execute",
+        app=spec.app_name, scheme=spec.scheme, seed=spec.seed,
+        iterations=spec.iterations,
+    ):
+        with TRACER.span("run.build", category="execute", app=spec.app_name):
+            app = resolve_app(spec.app)
+            overrides = spec.override_dict()
+            theta0 = overrides.pop("theta0", None)
 
-    hamiltonian = app.build_hamiltonian()
-    noise_model = NoiseModel.from_device(app.build_device())
-    trace = None
-    if spec.scheme != "noise-free":
-        trace = app.build_trace(length=trace_length(spec.iterations), seed=spec.seed)
-        if spec.trace_scale != 1.0:
-            trace = trace.scaled(spec.trace_scale)
+            hamiltonian = app.build_hamiltonian()
+            noise_model = NoiseModel.from_device(app.build_device())
+            trace = None
+            if spec.scheme != "noise-free":
+                trace = app.build_trace(
+                    length=trace_length(spec.iterations), seed=spec.seed
+                )
+                if spec.trace_scale != 1.0:
+                    trace = trace.scaled(spec.trace_scale)
 
-    ansatz = app.build_ansatz()
-    if theta0 is None:
-        theta0 = ansatz.initial_point(
-            seed=derive_seed(spec.seed, f"theta0:{app.name}")
+            ansatz = app.build_ansatz()
+            if theta0 is None:
+                theta0 = ansatz.initial_point(
+                    seed=derive_seed(spec.seed, f"theta0:{app.name}")
+                )
+
+            from repro.vqa.objective import EnergyObjective
+
+            vqe = build_vqe(
+                spec.scheme,
+                EnergyObjective(ansatz, hamiltonian),
+                trace=trace,
+                noise_model=noise_model,
+                shots=spec.shots,
+                seed=run_seed(spec),
+                spsa_seed=spsa_seed(spec),
+                iterations_hint=spec.iterations,
+                **overrides,
+            )
+        with Stopwatch() as clock, TRACER.span(
+            "run.vqe", category="execute", scheme=spec.scheme
+        ):
+            result = vqe.run(
+                spec.iterations, theta0=np.asarray(theta0, dtype=float)
+            )
+        return RunResult(
+            spec=spec,
+            result=result,
+            ground_truth=app.ground_truth_energy(),
+            elapsed_s=clock.elapsed,
         )
-
-    from repro.vqa.objective import EnergyObjective
-
-    vqe = build_vqe(
-        spec.scheme,
-        EnergyObjective(ansatz, hamiltonian),
-        trace=trace,
-        noise_model=noise_model,
-        shots=spec.shots,
-        seed=run_seed(spec),
-        spsa_seed=spsa_seed(spec),
-        iterations_hint=spec.iterations,
-        **overrides,
-    )
-    start = time.perf_counter()
-    result = vqe.run(spec.iterations, theta0=np.asarray(theta0, dtype=float))
-    elapsed = time.perf_counter() - start
-    return RunResult(
-        spec=spec,
-        result=result,
-        ground_truth=app.ground_truth_energy(),
-        elapsed_s=elapsed,
-    )
 
 
 def execute_all(specs: Sequence[RunSpec]) -> List[RunResult]:

@@ -34,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import List, Optional, Protocol, Sequence, Union, runtime_checkable
 
+from repro.obs import METRICS, TRACER
 from repro.runtime.execute import execute_run
 from repro.runtime.results import PlanResult, RunResult
 from repro.runtime.spec import ExperimentPlan, RunSpec
@@ -56,7 +57,11 @@ class BaseExecutor:
         raise NotImplementedError
 
     def run_plan(self, plan: ExperimentPlan) -> PlanResult:
-        return PlanResult(runs=self.run(plan.expand()), plan=plan.to_dict())
+        with TRACER.span(
+            "job.run_plan", category="job",
+            plan=plan.name, runs=len(plan), executor=type(self).__name__,
+        ):
+            return PlanResult(runs=self.run(plan.expand()), plan=plan.to_dict())
 
     def run_one(self, spec: RunSpec) -> RunResult:
         return self.run([spec])[0]
@@ -92,8 +97,17 @@ class ParallelExecutor(BaseExecutor):
             return [execute_run(spec) for spec in specs]
         workers = self.max_workers or os.cpu_count() or 1
         workers = min(workers, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_run, specs, chunksize=self.chunksize))
+        # Worker processes trace into their own (discarded) tracers; the
+        # parent records the fan-out as one span so job wall time still
+        # has an owner.  Results are unaffected either way.
+        with TRACER.span(
+            "executor.parallel.fanout", category="execute",
+            runs=len(specs), workers=workers,
+        ):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(execute_run, specs, chunksize=self.chunksize)
+                )
 
 
 class CachedExecutor(BaseExecutor):
@@ -167,13 +181,19 @@ class CachedExecutor(BaseExecutor):
         specs = list(specs)
         out: List[Optional[RunResult]] = []
         missing: List[int] = []
-        for index, spec in enumerate(specs):
-            cached = self._load(spec)
-            out.append(cached)
-            if cached is None:
-                missing.append(index)
-        self.hits += len(specs) - len(missing)
+        with TRACER.span(
+            "store.cache_lookup", category="store", runs=len(specs)
+        ):
+            for index, spec in enumerate(specs):
+                cached = self._load(spec)
+                out.append(cached)
+                if cached is None:
+                    missing.append(index)
+        hits = len(specs) - len(missing)
+        self.hits += hits
         self.misses += len(missing)
+        METRICS.counter("cache.store.hits").inc(hits)
+        METRICS.counter("cache.store.misses").inc(len(missing))
         if missing:
             fresh = self.inner.run([specs[i] for i in missing])
             for index, run in zip(missing, fresh):

@@ -37,6 +37,7 @@ from repro.circuits.gates import (
 )
 from repro.circuits.program import CompiledProgram
 from repro.compiler import GatePlan, compile_plan
+from repro.obs import TRACER
 
 __all__ = [
     "BATCHED_GATE_BUILDERS",
@@ -139,12 +140,34 @@ class BatchedStatevectorSimulator:
         thetas = self._validate_thetas(thetas, plan.num_parameters)
         states = self._initial(thetas.shape[0], initial_states)
         angles = plan.bind_angles_batch(thetas)
-        for op in plan.ops:
-            if op.matrix is not None:
-                states = apply_gate_batched(states, op.matrix, op.qubits)
-            else:
-                matrices = batched_gate_matrices(op.gate_name, angles[:, op.slot])
-                states = apply_gates_elementwise(states, matrices, op.qubits)
+        tracer = TRACER
+        if not tracer.enabled:
+            for op in plan.ops:
+                if op.matrix is not None:
+                    states = apply_gate_batched(states, op.matrix, op.qubits)
+                else:
+                    matrices = batched_gate_matrices(op.gate_name, angles[:, op.slot])
+                    states = apply_gates_elementwise(states, matrices, op.qubits)
+            return states
+        with tracer.span(
+            "sim.batched.run_plan", category="kernel",
+            ops=len(plan.ops), batch=int(thetas.shape[0]),
+            state_size=2**plan.num_qubits,
+        ):
+            for op in plan.ops:
+                with tracer.kernel_span(
+                    "kernel.batched.gate", sites=len(op.qubits),
+                    state_size=states.size,
+                ):
+                    if op.matrix is not None:
+                        states = apply_gate_batched(states, op.matrix, op.qubits)
+                    else:
+                        matrices = batched_gate_matrices(
+                            op.gate_name, angles[:, op.slot]
+                        )
+                        states = apply_gates_elementwise(
+                            states, matrices, op.qubits
+                        )
         return states
 
     def run_program(

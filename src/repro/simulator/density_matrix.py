@@ -26,6 +26,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import GATES
 from repro.compiler import GatePlan, NoisePlan, compile_noise_plan, compile_plan
 from repro.compiler.noise_plan import kraus_superoperator
+from repro.obs import TRACER
 
 
 class DensityMatrixSimulator:
@@ -159,8 +160,20 @@ class DensityMatrixSimulator:
         if plan.num_qubits != self.num_qubits:
             raise ValueError("plan qubit count mismatch")
         rho = self._as_tensor(initial_state)
-        for qubits, matrix in plan.op_matrices(theta):
-            rho = self.apply_unitary(rho, matrix, qubits)
+        tracer = TRACER
+        if not tracer.enabled:
+            for qubits, matrix in plan.op_matrices(theta):
+                rho = self.apply_unitary(rho, matrix, qubits)
+            return rho
+        with tracer.span(
+            "sim.density_matrix.run_plan", category="kernel",
+            ops=len(plan.ops), state_size=4**plan.num_qubits,
+        ):
+            for qubits, matrix in plan.op_matrices(theta):
+                with tracer.kernel_span(
+                    "kernel.dm.unitary", sites=len(qubits), state_size=rho.size
+                ):
+                    rho = self.apply_unitary(rho, matrix, qubits)
         return rho
 
     def run_noise_plan(
@@ -177,11 +190,31 @@ class DensityMatrixSimulator:
         if plan.num_qubits != self.num_qubits:
             raise ValueError("plan qubit count mismatch")
         rho = self._as_tensor(initial_state)
-        for op in plan.ops:
-            if op.matrix is not None:
-                rho = self.apply_unitary(rho, op.matrix, op.qubits)
-            else:
-                rho = self.apply_superop(rho, op.superop, op.qubits)
+        tracer = TRACER
+        if not tracer.enabled:
+            for op in plan.ops:
+                if op.matrix is not None:
+                    rho = self.apply_unitary(rho, op.matrix, op.qubits)
+                else:
+                    rho = self.apply_superop(rho, op.superop, op.qubits)
+            return rho
+        with tracer.span(
+            "sim.density_matrix.run_noise_plan", category="kernel",
+            ops=len(plan.ops), state_size=4**plan.num_qubits,
+        ):
+            for op in plan.ops:
+                if op.matrix is not None:
+                    with tracer.kernel_span(
+                        "kernel.dm.unitary", sites=len(op.qubits),
+                        state_size=rho.size,
+                    ):
+                        rho = self.apply_unitary(rho, op.matrix, op.qubits)
+                else:
+                    with tracer.kernel_span(
+                        "kernel.dm.superop", sites=len(op.qubits),
+                        state_size=rho.size,
+                    ):
+                        rho = self.apply_superop(rho, op.superop, op.qubits)
         return rho
 
     def run_circuit(

@@ -19,6 +19,7 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.program import CompiledProgram
 from repro.compiler import GatePlan, compile_plan
+from repro.obs import TRACER
 
 
 def apply_gate(
@@ -67,8 +68,20 @@ class StatevectorSimulator:
         if plan.num_qubits != self.num_qubits:
             raise ValueError("plan qubit count mismatch")
         state = self._initial(initial_state)
-        for qubits, matrix in plan.op_matrices(theta):
-            state = apply_gate(state, matrix, qubits)
+        tracer = TRACER
+        if not tracer.enabled:
+            for qubits, matrix in plan.op_matrices(theta):
+                state = apply_gate(state, matrix, qubits)
+            return state
+        with tracer.span(
+            "sim.statevector.run_plan", category="kernel",
+            ops=len(plan.ops), state_size=2**plan.num_qubits,
+        ):
+            for qubits, matrix in plan.op_matrices(theta):
+                with tracer.kernel_span(
+                    "kernel.sv.gate", sites=len(qubits), state_size=state.size
+                ):
+                    state = apply_gate(state, matrix, qubits)
         return state
 
     def run_program(

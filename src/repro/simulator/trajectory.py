@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler import NoisePlan, compile_noise_plan
+from repro.obs import TRACER
 from repro.simulator.batched import apply_gate_batched
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -153,13 +154,36 @@ class TrajectorySimulator:
             states = np.array(initial_states, dtype=complex).reshape(
                 (batch,) + (2,) * self.num_qubits
             )
-        for op in plan.ops:
-            if op.matrix is not None:
-                states = apply_gate_batched(states, op.matrix, op.qubits)
-            else:
-                states = unravel_channel_batched(
-                    states, op.kraus, op.qubits, rng, probes=op.probes
-                )
+        tracer = TRACER
+        if not tracer.enabled:
+            for op in plan.ops:
+                if op.matrix is not None:
+                    states = apply_gate_batched(states, op.matrix, op.qubits)
+                else:
+                    states = unravel_channel_batched(
+                        states, op.kraus, op.qubits, rng, probes=op.probes
+                    )
+            return states
+        with tracer.span(
+            "sim.trajectory.run_noise_plan", category="kernel",
+            ops=len(plan.ops), batch=batch,
+            state_size=2**plan.num_qubits,
+        ):
+            for op in plan.ops:
+                if op.matrix is not None:
+                    with tracer.kernel_span(
+                        "kernel.traj.gate", sites=len(op.qubits),
+                        state_size=states.size,
+                    ):
+                        states = apply_gate_batched(states, op.matrix, op.qubits)
+                else:
+                    with tracer.kernel_span(
+                        "kernel.traj.channel", sites=len(op.qubits),
+                        state_size=states.size,
+                    ):
+                        states = unravel_channel_batched(
+                            states, op.kraus, op.qubits, rng, probes=op.probes
+                        )
         return states
 
     def run_circuit(

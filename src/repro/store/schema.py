@@ -9,13 +9,16 @@ Version history:
 
 * **v1** — one wide ``runs`` table with the result payload inlined as a
   JSON column (the initial lakehouse layout).
-* **v2** (current) — content-addressed payloads: run rows carry a
+* **v2** — content-addressed payloads: run rows carry a
   ``payload_hash`` into a shared ``blobs`` table (identical payloads are
   stored once, integrity is checkable by re-hashing), an autoincrement
   ``seq`` records append order (the watermark basis for incremental
   materialized aggregates), and the ``matviews`` / ``matview_watermarks``
   tables hold per-cell improvement ratios plus the high-water mark of the
   last materialization.
+* **v3** (current) — adds the ``traces`` table: ``repro.obs``
+  trace/metric summaries persisted next to the results they profile,
+  payloads content-addressed through the same ``blobs`` table.
 
 Migrations move payload text **verbatim** — a v1 store migrated to v2
 serves bit-identical payloads (asserted in
@@ -29,7 +32,7 @@ import sqlite3
 from typing import Callable, Dict
 
 #: Current on-disk schema version.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: The v1 layout, kept for migration tests and ``create_v1_store``.
 V1_SCHEMA = """
@@ -55,7 +58,8 @@ CREATE TABLE IF NOT EXISTS store_meta (
 );
 """
 
-#: The current (v2) layout.
+#: The v2 layout (kept verbatim: the v1->v2 migration recreates it and
+#: the v2->v3 step builds on top).
 V2_SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
     seq          INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -99,6 +103,19 @@ CREATE TABLE IF NOT EXISTS store_meta (
     value TEXT NOT NULL
 );
 """
+
+#: v3 additions: obs trace/metric summaries, content-addressed like runs.
+TRACES_SCHEMA = """
+CREATE TABLE IF NOT EXISTS traces (
+    trace_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    label        TEXT NOT NULL DEFAULT '',
+    created_at   TEXT NOT NULL DEFAULT '',
+    payload_hash TEXT NOT NULL
+);
+"""
+
+#: The current (v3) layout.
+V3_SCHEMA = V2_SCHEMA + TRACES_SCHEMA
 
 
 class SchemaError(RuntimeError):
@@ -163,9 +180,15 @@ def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
     conn.execute("DROP TABLE runs_v1")
 
 
+def _migrate_v2_to_v3(conn: sqlite3.Connection) -> None:
+    """Additive: the ``traces`` table only — run rows do not move."""
+    conn.executescript(TRACES_SCHEMA)
+
+
 #: Forward migrations: from-version -> migration function.
 MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
     1: _migrate_v1_to_v2,
+    2: _migrate_v2_to_v3,
 }
 
 
@@ -174,7 +197,7 @@ def ensure_schema(conn: sqlite3.Connection) -> int:
     version (``SCHEMA_VERSION`` when nothing had to move)."""
     version = _get_version(conn)
     if version == 0:
-        conn.executescript(V2_SCHEMA)
+        conn.executescript(V3_SCHEMA)
         _set_version(conn, SCHEMA_VERSION)
         conn.commit()
         return SCHEMA_VERSION
@@ -201,5 +224,15 @@ def create_v1_store(conn: sqlite3.Connection) -> None:
     conn.execute(
         "INSERT INTO store_meta (key, value) VALUES ('schema_version', '1')"
         " ON CONFLICT(key) DO UPDATE SET value='1'"
+    )
+    conn.commit()
+
+
+def create_v2_store(conn: sqlite3.Connection) -> None:
+    """Lay down the historical v2 schema (migration tests / fixtures)."""
+    conn.executescript(V2_SCHEMA)
+    conn.execute(
+        "INSERT INTO store_meta (key, value) VALUES ('schema_version', '2')"
+        " ON CONFLICT(key) DO UPDATE SET value='2'"
     )
     conn.commit()

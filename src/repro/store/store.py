@@ -31,6 +31,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.obs import METRICS, TRACER
 from repro.runtime.results import RunResult
 from repro.runtime.spec import RunSpec
 from repro.store.query import RunQuery, StoredRun
@@ -124,7 +125,10 @@ class ExperimentStore:
         spec_text = canonical_json(run.spec.to_dict())
         payload = canonical_json(run.result.to_dict())
         digest = payload_hash(payload)
-        with self._lock:
+        METRICS.counter("store.appends").inc()
+        with TRACER.span(
+            "store.append", category="store", run_id=run.run_id
+        ), self._lock:
             row = self._conn.execute(
                 "SELECT seq, payload_hash FROM runs WHERE run_id = ?",
                 (run.run_id,),
@@ -187,6 +191,64 @@ class ExperimentStore:
             )
             self._conn.commit()
 
+    def append_trace(self, summary: Dict[str, Any], label: str = "") -> int:
+        """Persist one ``repro.obs`` trace/metric summary; returns its id.
+
+        Summaries are content-addressed through the shared ``blobs``
+        table like run payloads, so re-recording an identical profile
+        costs one small row.  They live *next to* results, never inside
+        them — the determinism contract keeps payload bytes free of
+        timing data.
+        """
+        payload = canonical_json(summary)
+        digest = payload_hash(payload)
+        with TRACER.span("store.append_trace", category="store"), self._lock:
+            self._put_blob(digest, payload)
+            cursor = self._conn.execute(
+                "INSERT INTO traces (label, created_at, payload_hash)"
+                " VALUES (?, ?, ?)",
+                (
+                    label,
+                    datetime.now(timezone.utc).isoformat(),
+                    digest,
+                ),
+            )
+            self._conn.commit()
+        METRICS.counter("store.trace_appends").inc()
+        return int(cursor.lastrowid)
+
+    def traces(self, limit: int = 10) -> List[Dict[str, Any]]:
+        """Most-recent-first stored trace summaries (decoded payloads).
+
+        Each summary dict gains ``trace_id`` / ``created_at`` keys from
+        its row. Rows whose payload fails the content-address check are
+        dropped, mirroring :meth:`query_runs`.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT traces.trace_id, traces.label, traces.created_at,"
+                " traces.payload_hash, blobs.data AS payload"
+                " FROM traces LEFT JOIN blobs"
+                " ON blobs.hash = traces.payload_hash"
+                " ORDER BY traces.trace_id DESC LIMIT ?",
+                (int(limit),),
+            ).fetchall()
+        out: List[Dict[str, Any]] = []
+        for row in rows:
+            payload = row["payload"]
+            if payload is None or payload_hash(payload) != row["payload_hash"]:
+                continue
+            try:
+                summary = json.loads(payload)
+            except (TypeError, ValueError):
+                continue
+            summary["trace_id"] = row["trace_id"]
+            summary["created_at"] = row["created_at"]
+            if row["label"]:
+                summary["label"] = row["label"]
+            out.append(summary)
+        return out
+
     def _put_blob(self, digest: str, payload: str) -> None:
         self._conn.execute(
             "INSERT INTO blobs (hash, data, size) VALUES (?, ?, ?)"
@@ -235,7 +297,8 @@ class ExperimentStore:
         """
         query = query or RunQuery()
         where, params = query.where()
-        with self._lock:
+        METRICS.counter("store.queries").inc()
+        with TRACER.span("store.query_runs", category="store"), self._lock:
             rows = self._conn.execute(
                 f"SELECT {_RUN_COLUMNS}, blobs.data AS payload,"
                 " runs.payload_hash AS payload_hash"
@@ -379,7 +442,10 @@ class ExperimentStore:
         """
         from repro.experiments.runner import ComparisonResult
 
-        with self._lock:
+        METRICS.counter("store.materializations").inc()
+        with TRACER.span(
+            "store.materialize", category="store", view=view
+        ), self._lock:
             mark = self._conn.execute(
                 "SELECT watermark, baseline FROM matview_watermarks"
                 " WHERE view = ?",
@@ -502,6 +568,8 @@ class ExperimentStore:
             self._conn.execute(
                 "DELETE FROM blobs WHERE hash NOT IN"
                 " (SELECT DISTINCT payload_hash FROM runs)"
+                " AND hash NOT IN"
+                " (SELECT DISTINCT payload_hash FROM traces)"
             )
             after = self._conn.execute(
                 "SELECT COUNT(*), COALESCE(SUM(size), 0) FROM blobs"
@@ -578,6 +646,9 @@ class ExperimentStore:
     def info(self) -> Dict[str, Any]:
         with self._lock:
             runs = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+            traces = self._conn.execute(
+                "SELECT COUNT(*) FROM traces"
+            ).fetchone()[0]
             blobs = self._conn.execute(
                 "SELECT COUNT(*), COALESCE(SUM(size), 0) FROM blobs"
             ).fetchone()
@@ -620,6 +691,7 @@ class ExperimentStore:
             "path": self.path,
             "schema_version": SCHEMA_VERSION,
             "runs": int(runs),
+            "traces": int(traces),
             "blobs": int(blobs[0]),
             "payload_bytes": int(blobs[1]),
             "apps": apps,

@@ -370,6 +370,88 @@ def test_suppression_is_rule_specific():
     assert report.suppressed == 0
 
 
+# -- RPR106: direct timing -----------------------------------------------------
+
+
+def test_direct_time_calls_flagged():
+    report = lint(
+        """
+        import time
+
+        started = time.time()
+
+        def wait():
+            return time.monotonic() - time.perf_counter()
+        """,
+        path="src/repro/runtime/example.py",
+    )
+    assert codes(report) == ["RPR106", "RPR106", "RPR106"]
+    assert "repro.obs" in report.diagnostics[0].hint
+
+
+def test_from_import_timing_flagged_but_sleep_ignored():
+    report = lint(
+        """
+        from time import perf_counter as pc, sleep
+
+        def wait():
+            sleep(0.1)
+            return pc()
+        """,
+        path="src/repro/fleet/example.py",
+    )
+    assert codes(report) == ["RPR106"]
+
+
+def test_time_ns_variants_flagged():
+    report = lint(
+        """
+        import time as t
+
+        stamp = t.perf_counter_ns()
+        """,
+        path="src/repro/runtime/example.py",
+    )
+    assert codes(report) == ["RPR106"]
+
+
+def test_obs_package_is_exempt_from_timing_rule():
+    code = """
+    import time
+
+    def perf_counter():
+        return time.perf_counter()
+    """
+    assert codes(lint(code, path="src/repro/obs/clock.py")) == []
+    assert codes(lint(code, path="src/repro/runtime/x.py")) == ["RPR106"]
+
+
+def test_timing_suppression_comment():
+    report = lint(
+        """
+        import time
+
+        stamp = time.time()  # repro: allow-direct-timing
+        """,
+        path="src/repro/runtime/example.py",
+    )
+    assert codes(report) == []
+    assert report.suppressed == 1
+
+
+def test_unrelated_time_attributes_not_flagged():
+    report = lint(
+        """
+        import time
+
+        stamp = time.strftime("%Y")
+        time.sleep(0.5)
+        """,
+        path="src/repro/runtime/example.py",
+    )
+    assert codes(report) == []
+
+
 # -- path classification and whole-tree runs -----------------------------------
 
 
@@ -381,6 +463,10 @@ def test_path_classification():
     assert not is_seed_critical(Path("src/repro/chemistry/h2.py"))
     assert is_rng_module(Path("src/repro/utils/rng.py"))
     assert not is_rng_module(Path("src/repro/utils/stats.py"))
+    from repro.analysis.lint import is_obs_module
+
+    assert is_obs_module(Path("src/repro/obs/trace.py"))
+    assert not is_obs_module(Path("src/repro/runtime/execute.py"))
 
 
 def test_parse_error_reported_not_raised():

@@ -94,6 +94,46 @@ def test_stats_reports_stored_results(db, capsys):
     assert "stored results: 2" in out
 
 
+def test_stats_json_serves_rollup(db, capsys):
+    assert _submit(db) == 0
+    capsys.readouterr()
+    assert main(["stats", "--db", db, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["completed"] == 2
+    assert payload["stored_results"]["total"] == 2
+    assert sum(payload["stored_results"]["by_device"].values()) == 2
+    assert payload["ticks"] > 0 and payload["throughput"] > 0
+    for counters in payload["devices"].values():
+        assert set(counters) == {
+            "scheduled", "completed", "failed", "deferred", "cache_hits"
+        }
+
+
+def test_stats_breakdown_matches_store_derived_numbers(db, capsys):
+    """The rollup-served breakdown can never go stale vs the store.
+
+    ``stats`` serves stored-result counts from the persisted telemetry
+    rollup (no payload decoding); this pins that shortcut against the
+    numbers rebuilt the old way — querying the fleet-sourced runs out of
+    the result store and counting by device.
+    """
+    from repro.fleet import JobStore
+    from repro.fleet.cli import stats_payload
+    from repro.store.query import RunQuery
+
+    assert _submit(db) == 0
+    assert _submit(db) == 0  # resubmission: cache hits must not inflate
+    capsys.readouterr()
+    with JobStore(db) as store:
+        payload = stats_payload(store)
+        stored = store.results.query_runs(RunQuery(sources="fleet"))
+    derived: dict = {}
+    for run in stored:
+        derived[run.device] = derived.get(run.device, 0) + 1
+    assert payload["stored_results"]["by_device"] == derived
+    assert payload["stored_results"]["total"] == len(stored)
+
+
 def test_status_expect_fails_when_not_all_done(db, capsys):
     # empty store: expectation cannot hold
     from repro.fleet import JobStore

@@ -1,0 +1,110 @@
+"""``python -m repro.obs`` CLI: trace / report / metrics / validate."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.export import persist_trace_summary, trace_summary
+from repro.obs.trace import TRACER, Tracer
+from repro.store import ExperimentStore
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    """A small exported trace, built from an isolated tracer."""
+    from repro.obs.export import export_chrome_trace
+
+    tracer = Tracer()
+    tracer.configure(enabled=True)
+    with tracer.span("job", category="execute"):
+        with tracer.span("compile.default", category="compile"):
+            pass
+    path = tmp_path / "trace.json"
+    export_chrome_trace(str(path), tracer)
+    return str(path)
+
+
+def test_trace_runs_script_and_exports(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    script = tmp_path / "tiny.py"
+    script.write_text(
+        "from repro.obs import TRACER\n"
+        "with TRACER.span('work', category='execute'):\n"
+        "    pass\n"
+    )
+    out = tmp_path / "out.json"
+    try:
+        assert main(["trace", str(script), "--out", str(out)]) == 0
+    finally:
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        TRACER.reset()
+    captured = capsys.readouterr()
+    assert "wrote" in captured.err
+    document = json.loads(out.read_text())
+    assert any(
+        event["name"] == "work" for event in document["traceEvents"]
+    )
+    assert main(["validate", "--trace", str(out)]) == 0
+
+
+def test_report_text_from_trace_file(trace_file, capsys):
+    assert main(["report", "--trace", trace_file]) == 0
+    out = capsys.readouterr().out
+    assert "job wall time" in out and "compile" in out
+
+
+def test_report_json_and_markdown(trace_file, capsys):
+    assert main(["report", "--trace", trace_file, "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["coverage"] == pytest.approx(1.0, rel=1e-6)
+    assert main(
+        ["report", "--trace", trace_file, "--format", "markdown"]
+    ) == 0
+    assert "## Phase breakdown" in capsys.readouterr().out
+
+
+def test_report_from_store_summary(tmp_path, capsys):
+    tracer = Tracer()
+    tracer.configure(enabled=True)
+    with tracer.span("job", category="execute"):
+        pass
+    db = tmp_path / "store.sqlite"
+    with ExperimentStore(str(db)) as store:
+        persist_trace_summary(store, trace_summary(tracer, label="cli-test"))
+    assert main(["report", "--store", str(db)]) == 0
+    assert "job wall time" in capsys.readouterr().out
+    assert main(["metrics", "--store", str(db), "--json"]) == 0
+    assert "counters" in json.loads(capsys.readouterr().out)
+
+
+def test_report_on_empty_store_exits_with_message(tmp_path):
+    db = tmp_path / "empty.sqlite"
+    with ExperimentStore(str(db)):
+        pass
+    with pytest.raises(SystemExit, match="no trace summaries"):
+        main(["report", "--store", str(db)])
+
+
+def test_metrics_text_lists_counters(trace_file, capsys):
+    assert main(["metrics", "--trace", trace_file]) == 0
+    capsys.readouterr()  # counters present or empty: exit code is the contract
+
+
+def test_validate_rejects_malformed_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+    assert main(["validate", "--trace", str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+
+def test_missing_trace_file_is_a_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="no trace file"):
+        main(["report", "--trace", str(tmp_path / "nope.json")])
+
+
+def test_non_json_trace_file_is_a_clean_error(tmp_path):
+    path = tmp_path / "garbage.json"
+    path.write_text("not json {")
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        main(["report", "--trace", str(path)])

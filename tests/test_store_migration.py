@@ -7,7 +7,7 @@ import pytest
 
 from repro.runtime import CachedExecutor, ExperimentPlan, SerialExecutor
 from repro.store import ExperimentStore, RunQuery, SchemaError, payload_hash
-from repro.store.schema import SCHEMA_VERSION, create_v1_store
+from repro.store.schema import SCHEMA_VERSION, create_v1_store, create_v2_store
 from repro.utils.serialization import canonical_json
 
 PLAN = ExperimentPlan(
@@ -99,6 +99,56 @@ def test_v1_duplicate_payloads_collapse_into_one_blob(tmp_path):
         ).fetchone()[0]
         assert count == 1
         assert len(store) == len(runs) + 1
+
+
+def test_v2_to_v3_migration_is_additive(tmp_path):
+    """v2 -> v3 adds the ``traces`` table; run rows do not move."""
+    runs = SerialExecutor().run_plan(PLAN).runs
+    db = tmp_path / "store.sqlite"
+    conn = sqlite3.connect(str(db))
+    conn.row_factory = sqlite3.Row
+    create_v2_store(conn)
+    conn.close()
+    with ExperimentStore(db) as store:
+        for run in runs:
+            store.append(run)
+
+    # Rewind the version stamp to 2: the rows above are v2-layout rows.
+    conn = sqlite3.connect(str(db))
+    conn.execute("DROP TABLE traces")
+    conn.execute(
+        "UPDATE store_meta SET value = '2' WHERE key = 'schema_version'"
+    )
+    conn.commit()
+    conn.close()
+
+    with ExperimentStore(db) as store:
+        assert store.migrated_from == 2
+        assert store.run_ids() == [run.run_id for run in runs]
+        for stored in store.query_runs():
+            assert json.loads(stored.payload) == {
+                run.run_id: run.result.to_dict() for run in runs
+            }[stored.run_id]
+        # the migrated store accepts trace summaries immediately
+        trace_id = store.append_trace({"wall_s": 1.5}, label="post-migration")
+        assert store.traces()[0]["trace_id"] == trace_id
+        assert store.info()["traces"] == 1
+
+    with ExperimentStore(db) as store:  # reopening is a no-op migration
+        assert store.migrated_from == SCHEMA_VERSION
+        assert store.traces()[0]["label"] == "post-migration"
+
+
+def test_trace_payloads_are_content_addressed(tmp_path):
+    db = tmp_path / "store.sqlite"
+    with ExperimentStore(db) as store:
+        store.append_trace({"wall_s": 2.0}, label="a")
+        store.append_trace({"wall_s": 2.0}, label="b")  # same payload bits
+    conn = sqlite3.connect(str(db))
+    blobs = conn.execute("SELECT COUNT(*) FROM blobs").fetchone()[0]
+    rows = conn.execute("SELECT COUNT(*) FROM traces").fetchone()[0]
+    conn.close()
+    assert rows == 2 and blobs == 1  # two summaries, one shared blob
 
 
 def test_future_schema_refused(tmp_path):

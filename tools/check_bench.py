@@ -21,6 +21,14 @@ so two machine-independent checks gate the build:
    it is a unit of measurement; one whose reference changed between
    baseline and current is reported but not gated (schema migration).
 
+The file may also carry a ``phases`` key — the obs-traced per-phase
+self-time shares of one end-to-end run (see
+``benchmarks/perf/conftest.py``). Shares are within-run normalized, so
+they compare across machines: a phase whose share drifted more than
+``--max-phase-drift`` (absolute, default 0.30) fails the gate. The
+comparison is first-appearance tolerant — a baseline without ``phases``
+(or a phase new to the current file) reports but never gates.
+
 Benchmarks present in the current file but absent from the baseline are
 reported as "new" and skipped (there is nothing to compare against —
 they start gating on the next baseline refresh); a benchmark whose
@@ -82,6 +90,36 @@ def normalized_times(payload: dict, path: Path) -> tuple:
     return normalized, references, skipped
 
 
+def compare_phases(
+    baseline: dict, current: dict, max_drift: float, failures: list
+) -> None:
+    """Tolerant comparison of the obs per-phase share breakdowns."""
+    cur = current.get("phases")
+    if not cur:
+        return  # nothing recorded this run; never gate on absence
+    shares = cur.get("shares", {})
+    base_shares = (baseline.get("phases") or {}).get("shares")
+    print(
+        f"\ntraced phases ({cur.get('workload', '?')}, "
+        f"coverage {100.0 * cur.get('coverage', 0.0):.1f}%):"
+    )
+    for name in sorted(shares):
+        if base_shares is None or name not in base_shares:
+            print(f"  {name}: {shares[name]:6.3f} /    (new)  [ok]")
+            continue
+        drift = abs(shares[name] - base_shares[name])
+        status = "FAIL" if drift > max_drift else "ok"
+        print(
+            f"  {name}: {shares[name]:6.3f} / {base_shares[name]:6.3f}"
+            f"  (drift {drift:.3f}, allowed {max_drift:.2f}) [{status}]"
+        )
+        if drift > max_drift:
+            failures.append(
+                f"phase {name} share drifted {drift:.3f} "
+                f"(allowed {max_drift:.2f})"
+            )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, required=True)
@@ -109,6 +147,12 @@ def main(argv=None) -> int:
         type=float,
         default=5.0,
         help="floor for the noisy-engine vs. per-instruction-walk speedup",
+    )
+    parser.add_argument(
+        "--max-phase-drift",
+        type=float,
+        default=0.30,
+        help="maximum absolute drift of a traced phase's self-time share",
     )
     args = parser.parse_args(argv)
 
@@ -181,6 +225,8 @@ def main(argv=None) -> int:
     dropped = sorted(set(base_norm) - current_names)
     for name in dropped:
         failures.append(f"benchmark {name} disappeared from the suite")
+
+    compare_phases(baseline, current, args.max_phase_drift, failures)
 
     if failures:
         print("\ncheck_bench: FAILED")
