@@ -30,7 +30,11 @@ import numpy as np
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
-BENCH_PATH = REPO_ROOT / "BENCH_perf.json"
+#: Output path; ``REPRO_BENCH_PATH`` redirects it (CI kernel smoke runs
+#: write to a scratch file and compare against the committed baseline).
+BENCH_PATH = Path(
+    os.environ.get("REPRO_BENCH_PATH") or REPO_ROOT / "BENCH_perf.json"
+)
 
 #: Default benchmark timings are normalized against in the CI gate.
 #: Individual benchmarks may name a different ``reference`` from their own
@@ -85,6 +89,21 @@ _SPEEDUP_RATIOS = (
     ),
     ("fusion_speedup_8q", "unfused_run_8q", "fused_run_8q"),
     ("noisy_engine_speedup_8q", "noisy_counts_walk_8q", "noisy_counts_8q"),
+    (
+        "kernel_speedup_16q",
+        "kernel_vqe_iteration_16q_tensordot",
+        "kernel_vqe_iteration_16q",
+    ),
+    (
+        "kernel_speedup_20q",
+        "kernel_statevector_20q_tensordot",
+        "kernel_statevector_20q",
+    ),
+    (
+        "kernel_speedup_traj_16q",
+        "kernel_trajectory_16q_tensordot",
+        "kernel_trajectory_16q",
+    ),
 )
 
 

@@ -1,0 +1,230 @@
+"""Perf benchmarks for the v2 gate kernels (pair vs. tensordot).
+
+Each workload runs twice — once per ``REPRO_KERNEL`` engine — and the
+kernel family gates on its *derived speedup ratios* (pair time vs. the
+tensordot sibling; ``kernel_speedup_16q >= 4x`` is the headline
+acceptance gate, ``kernel_speedup_20q >= 3x`` rides along — see
+``tools/check_bench.py``). Every entry is its own ``reference``, which
+exempts the family from the generic normalized-regression gate: the
+explicit speedup floors are the tighter, variance-tolerant check.
+
+Three workloads:
+
+* ``kernel_vqe_iteration_16q`` — one batched VQE iteration: 8 parameter
+  sets through a 16-qubit EfficientSU2(reps=2) plan on the flat batched
+  simulator. This is the paper-scale hot loop the kernels exist for.
+* ``kernel_statevector_20q`` — a single 20-qubit serial plan execution
+  (16 MiB statevector), exercising the chunked cache-blocked path.
+* ``kernel_trajectory_16q`` — 4 noisy trajectories at 16 qubits; gate
+  kernels ride the same dispatch, but Kraus unraveling dominates the
+  runtime, so its speedup ratio is reported without a floor.
+
+Every entry records a ``bytes_touched`` estimate (from the
+``kernel.*.bytes`` counters) for one workload execution, which makes
+the benchmark roofline-readable: ``bytes_touched / min_s`` approximates
+the sustained memory bandwidth of the gate loop.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.ansatz.efficient_su2 import EfficientSU2
+from repro.compiler import compile_noise_plan
+from repro.noise.noise_model import NoiseModel
+from repro.obs.metrics import METRICS
+from repro.simulator.batched import BatchedStatevectorSimulator
+from repro.simulator.statevector import StatevectorSimulator
+from repro.simulator.trajectory import TrajectorySimulator
+
+_CACHE: Dict[str, object] = {}
+
+
+def _workload_16q():
+    if "16q" not in _CACHE:
+        plan = EfficientSU2(16, reps=2).plan
+        thetas = np.random.default_rng(2023).uniform(
+            -np.pi, np.pi, (8, plan.num_parameters)
+        )
+        _CACHE["16q"] = (plan, thetas)
+    return _CACHE["16q"]
+
+
+def _workload_20q():
+    if "20q" not in _CACHE:
+        plan = EfficientSU2(20, reps=1).plan
+        theta = np.random.default_rng(7).uniform(
+            -np.pi, np.pi, plan.num_parameters
+        )
+        _CACHE["20q"] = (plan, theta)
+    return _CACHE["20q"]
+
+
+def _workload_traj_16q():
+    if "traj" not in _CACHE:
+        ansatz = EfficientSU2(16, reps=2)
+        circuit = ansatz.bind(
+            np.random.default_rng(2023).uniform(
+                -np.pi, np.pi, ansatz.num_parameters
+            )
+        )
+        _CACHE["traj"] = compile_noise_plan(
+            circuit, NoiseModel(0.004, 0.03), cache=False
+        )
+    return _CACHE["traj"]
+
+
+def _kernel_bytes(func: Callable) -> int:
+    """Total ``kernel.*.bytes`` delta for one execution of ``func``."""
+
+    def total() -> int:
+        return sum(
+            value
+            for name, value in METRICS.snapshot()["counters"].items()
+            if name.startswith("kernel.") and name.endswith(".bytes")
+        )
+
+    before = total()
+    func()
+    return total() - before
+
+
+def _bench_engine(
+    record_benchmark,
+    name: str,
+    kernel_engine: Optional[str],
+    func: Callable,
+    rounds: int,
+    reference: str,
+    **metadata,
+):
+    """Record ``func`` under a pinned ``REPRO_KERNEL`` engine."""
+    saved = os.environ.get("REPRO_KERNEL")
+    if kernel_engine is None:
+        os.environ.pop("REPRO_KERNEL", None)
+    else:
+        os.environ["REPRO_KERNEL"] = kernel_engine
+    try:
+        bytes_touched = _kernel_bytes(func)
+        return record_benchmark(
+            name,
+            func,
+            rounds=rounds,
+            reference=reference,
+            bytes_touched=bytes_touched,
+            **metadata,
+        )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = saved
+
+
+def test_kernel_vqe_iteration_16q_tensordot(record_benchmark):
+    plan, thetas = _workload_16q()
+    sim = BatchedStatevectorSimulator(16)
+    states = _bench_engine(
+        record_benchmark,
+        "kernel_vqe_iteration_16q_tensordot",
+        "tensordot",
+        lambda: sim.run_flat(plan, thetas),
+        rounds=5,
+        reference="kernel_vqe_iteration_16q_tensordot",
+        qubits=16,
+        batch=8,
+        engine="tensordot",
+    )
+    assert np.isfinite(states).all()
+
+
+def test_kernel_vqe_iteration_16q_pair(record_benchmark):
+    plan, thetas = _workload_16q()
+    sim = BatchedStatevectorSimulator(16)
+    states = _bench_engine(
+        record_benchmark,
+        "kernel_vqe_iteration_16q",
+        "pair",
+        lambda: sim.run_flat(plan, thetas),
+        rounds=10,
+        reference="kernel_vqe_iteration_16q",
+        qubits=16,
+        batch=8,
+        engine="pair",
+    )
+    assert np.isfinite(states).all()
+
+
+def test_kernel_statevector_20q_tensordot(record_benchmark):
+    plan, theta = _workload_20q()
+    sim = StatevectorSimulator(20)
+    state = _bench_engine(
+        record_benchmark,
+        "kernel_statevector_20q_tensordot",
+        "tensordot",
+        lambda: sim.run_plan(plan, theta),
+        rounds=3,
+        reference="kernel_statevector_20q_tensordot",
+        qubits=20,
+        engine="tensordot",
+    )
+    assert np.isfinite(state).all()
+
+
+def test_kernel_statevector_20q_pair(record_benchmark):
+    plan, theta = _workload_20q()
+    sim = StatevectorSimulator(20)
+    state = _bench_engine(
+        record_benchmark,
+        "kernel_statevector_20q",
+        "pair",
+        lambda: sim.run_plan(plan, theta),
+        rounds=5,
+        reference="kernel_statevector_20q",
+        qubits=20,
+        engine="pair",
+    )
+    assert np.isfinite(state).all()
+
+
+def test_kernel_trajectory_16q_tensordot(record_benchmark):
+    plan = _workload_traj_16q()
+
+    def run():
+        return TrajectorySimulator(16, seed=7).run_noise_plan(plan, 4)
+
+    states = _bench_engine(
+        record_benchmark,
+        "kernel_trajectory_16q_tensordot",
+        "tensordot",
+        run,
+        rounds=3,
+        reference="kernel_trajectory_16q_tensordot",
+        qubits=16,
+        trajectories=4,
+        engine="tensordot",
+    )
+    assert np.isfinite(states).all()
+
+
+def test_kernel_trajectory_16q_pair(record_benchmark):
+    plan = _workload_traj_16q()
+
+    def run():
+        return TrajectorySimulator(16, seed=7).run_noise_plan(plan, 4)
+
+    states = _bench_engine(
+        record_benchmark,
+        "kernel_trajectory_16q",
+        "pair",
+        run,
+        rounds=3,
+        reference="kernel_trajectory_16q",
+        qubits=16,
+        trajectories=4,
+        engine="pair",
+    )
+    assert np.isfinite(states).all()

@@ -32,6 +32,69 @@ from repro.circuits.gates import stacked_gate_matrices
 from repro.circuits.parameter import Parameter
 from repro.circuits.program import CompiledProgram
 
+# -- kernel classes -----------------------------------------------------------
+#
+# Every op lowers to exactly one kernel class, so the simulators dispatch
+# gate application with a table lookup instead of per-gate matrix
+# inspection (see ``repro.simulator.kernels``). Classification lives here
+# (not in the kernels package) because the compiler may not import the
+# simulator layer.
+
+#: Diagonal matrix — applies as a pure elementwise multiply.
+KERNEL_DIAGONAL = "diagonal"
+#: Dense single-qubit gate — bit-indexed amplitude-pair update.
+KERNEL_1Q_PAIR = "1q-pair"
+#: Dense two-qubit gate — bit-indexed amplitude-quad update.
+KERNEL_2Q_QUAD = "2q-quad"
+#: Dense k>=3 qubit operator — falls back to the tensordot reference.
+KERNEL_DENSE = "dense-k"
+
+KERNEL_CLASSES = (KERNEL_DIAGONAL, KERNEL_1Q_PAIR, KERNEL_2Q_QUAD, KERNEL_DENSE)
+
+#: Kernel class of each parameterized gate kind, keyed by gate name.
+#: Parameterized ops carry no matrix at lowering time, so their class
+#: comes from this table instead of matrix inspection.
+PARAM_GATE_KERNEL_CLASSES: Dict[str, str] = {
+    "rz": KERNEL_DIAGONAL,
+    "p": KERNEL_DIAGONAL,
+    "rzz": KERNEL_DIAGONAL,
+    "crz": KERNEL_DIAGONAL,
+    "rx": KERNEL_1Q_PAIR,
+    "ry": KERNEL_1Q_PAIR,
+    "u": KERNEL_1Q_PAIR,
+    "rxx": KERNEL_2Q_QUAD,
+    "crx": KERNEL_2Q_QUAD,
+}
+
+_DENSE_CLASS_BY_DIM = {2: KERNEL_1Q_PAIR, 4: KERNEL_2Q_QUAD}
+
+
+def kernel_class_of_matrix(matrix: np.ndarray) -> str:
+    """Classify an operator matrix into one of the four kernel classes.
+
+    Diagonality is decided structurally (exact zeros off the diagonal),
+    which is stable because gate constructors and fusion products build
+    their zeros exactly. Dimensions other than 2/4 (including channel
+    superoperators viewed as ``2k``-qubit operators) classify as
+    ``dense-k`` unless diagonal.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return KERNEL_DENSE
+    dim = matrix.shape[0]
+    off_diagonal = matrix[~np.eye(dim, dtype=bool)]
+    if not np.any(off_diagonal):
+        return KERNEL_DIAGONAL
+    return _DENSE_CLASS_BY_DIM.get(dim, KERNEL_DENSE)
+
+
+def kernel_class_of_gate(gate_name: str, num_qubits: int) -> str:
+    """Kernel class of a parameterized gate kind (table lookup)."""
+    try:
+        return PARAM_GATE_KERNEL_CLASSES[gate_name]
+    except KeyError:
+        return _DENSE_CLASS_BY_DIM.get(2**num_qubits, KERNEL_DENSE)
+
 
 @dataclass(frozen=True)
 class PlanOp:
@@ -40,12 +103,27 @@ class PlanOp:
     ``matrix`` is set for static ops (possibly the product of several
     fused source gates). Parameterized ops set ``gate_name`` and ``slot``
     — the row of the plan's parameter table holding their affine map.
+    ``kernel_class`` is derived at construction (matrix structure for
+    static ops, the gate-kind table for parameterized ops), so execution
+    dispatch is a plain table lookup.
     """
 
     qubits: Tuple[int, ...]
     matrix: Optional[np.ndarray] = None
     gate_name: Optional[str] = None
     slot: int = -1
+    kernel_class: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kernel_class is not None:
+            return
+        if self.matrix is not None:
+            derived = kernel_class_of_matrix(self.matrix)
+        elif self.gate_name is not None:
+            derived = kernel_class_of_gate(self.gate_name, len(self.qubits))
+        else:
+            derived = _DENSE_CLASS_BY_DIM.get(2 ** len(self.qubits), KERNEL_DENSE)
+        object.__setattr__(self, "kernel_class", derived)
 
     @property
     def is_static(self) -> bool:

@@ -53,7 +53,7 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import GATES
 from repro.compiler.cache import PLAN_CACHE, circuit_fingerprint, fusion_enabled
-from repro.compiler.ir import PlanOp
+from repro.compiler.ir import PlanOp, kernel_class_of_matrix
 from repro.compiler.passes import (
     MAX_FUSION_SUPPORT,
     _expand_matrix,
@@ -92,6 +92,13 @@ class ChannelOp:
     ``None`` — it exists so the fusion pass (which treats matrix-less
     ops as barriers on their qubits) and the execution loops can handle
     :class:`PlanOp` and :class:`ChannelOp` uniformly.
+
+    ``superop_class`` / ``kraus_classes`` are the kernel classes of the
+    superoperator and of each Kraus operator (see
+    :func:`~repro.compiler.ir.kernel_class_of_matrix`), derived once at
+    construction so the simulators dispatch per site without matrix
+    inspection — a pure-dephasing site, for example, has a diagonal
+    superoperator and rides the elementwise fast path.
     """
 
     qubits: Tuple[int, ...]
@@ -99,6 +106,8 @@ class ChannelOp:
     superop: np.ndarray = field(default=None)
     probes: np.ndarray = field(default=None)
     matrix: None = field(default=None, init=False)
+    superop_class: str = field(default=None)
+    kraus_classes: Tuple[str, ...] = field(default=None)
 
     def __post_init__(self):
         if self.superop is None:
@@ -108,6 +117,16 @@ class ChannelOp:
                 self,
                 "probes",
                 np.matmul(self.kraus.conj().transpose(0, 2, 1), self.kraus),
+            )
+        if self.superop_class is None:
+            object.__setattr__(
+                self, "superop_class", kernel_class_of_matrix(self.superop)
+            )
+        if self.kraus_classes is None:
+            object.__setattr__(
+                self,
+                "kraus_classes",
+                tuple(kernel_class_of_matrix(k) for k in self.kraus),
             )
 
     @property

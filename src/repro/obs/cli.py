@@ -112,9 +112,12 @@ def cmd_report(args: argparse.Namespace) -> int:
             bucket.setdefault(
                 "share", bucket.get("self_s", 0.0) / wall if wall else 0.0
             )
-        from repro.obs.report import cache_scoreboard
+        from repro.obs.report import cache_scoreboard, kernel_scoreboard
 
         report["cache"] = cache_scoreboard({"counters": report["counters"]})
+        report["kernel"] = kernel_scoreboard(
+            {"counters": report["counters"]}
+        )
     else:
         document = _load_document(args.trace or _default_trace_path())
         report = build_report(document=document)

@@ -138,6 +138,34 @@ def cache_scoreboard(metrics: Optional[Dict[str, Any]] = None) -> Dict[str, Any]
     return families
 
 
+def kernel_scoreboard(
+    metrics: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Fold ``kernel.<class>.<calls|bytes>`` counters per kernel class.
+
+    The simulators' kernel dispatcher bumps one call counter and one
+    estimated bytes-touched counter per gate application; folding them
+    per class (diagonal / 1q-pair / 2q-quad / dense-k) shows which
+    kernels carried a run.
+    """
+    counters = (
+        metrics.get("counters", {})
+        if metrics is not None
+        else METRICS.snapshot()["counters"]
+    )
+    classes: Dict[str, Dict[str, Any]] = {}
+    for name, value in counters.items():
+        if not name.startswith("kernel."):
+            continue
+        parts = name.split(".")
+        if len(parts) != 3 or parts[-1] not in ("calls", "bytes"):
+            continue
+        classes.setdefault(parts[1], {"calls": 0, "bytes": 0})[parts[-1]] = (
+            value
+        )
+    return classes
+
+
 def build_report(
     document: Optional[Dict[str, Any]] = None,
     tracer: Optional[Tracer] = None,
@@ -163,6 +191,9 @@ def build_report(
             sorted(phases.items(), key=lambda kv: -kv[1]["self_s"])
         ),
         "cache": cache_scoreboard({"counters": metrics.get("counters", {})}),
+        "kernel": kernel_scoreboard(
+            {"counters": metrics.get("counters", {})}
+        ),
         "counters": metrics.get("counters", {}),
     }
 
@@ -189,6 +220,13 @@ def render_text(report: Dict[str, Any]) -> str:
             lines.append(
                 f"{family:<20} {row['hits']:>8} {row['misses']:>8} "
                 f"{row['evictions']:>6} {row['hit_rate'] * 100:>8.1f}%"
+            )
+    if report.get("kernel"):
+        lines += ["", f"{'kernel class':<14} {'calls':>10} {'GiB touched':>12}"]
+        for kernel_class, row in sorted(report["kernel"].items()):
+            lines.append(
+                f"{kernel_class:<14} {row['calls']:>10} "
+                f"{row['bytes'] / 2**30:>12.3f}"
             )
     return "\n".join(lines)
 
@@ -220,6 +258,19 @@ def render_markdown(report: Dict[str, Any]) -> str:
             lines.append(
                 f"| {family} | {row['hits']} | {row['misses']} "
                 f"| {row['evictions']} | {row['hit_rate'] * 100:.1f}% |"
+            )
+    if report.get("kernel"):
+        lines += [
+            "",
+            "## Kernel scoreboard",
+            "",
+            "| kernel class | calls | GiB touched |",
+            "| --- | ---: | ---: |",
+        ]
+        for kernel_class, row in sorted(report["kernel"].items()):
+            lines.append(
+                f"| {kernel_class} | {row['calls']} "
+                f"| {row['bytes'] / 2**30:.3f} |"
             )
     return "\n".join(lines)
 

@@ -7,8 +7,20 @@ Kraus noise channels compiled to per-site superoperators; validates the
 energy-level noise approximations of the transient backend), and a
 batched quantum-trajectory simulator (stochastic channel unraveling over
 an ensemble of pure states, sharing the batched gate kernels).
+
+All four route gate application through :mod:`repro.simulator.kernels`:
+``REPRO_KERNEL=pair`` (the default) selects the bit-indexed in-place
+kernels, ``REPRO_KERNEL=tensordot`` the historic reshape + ``tensordot``
+reference path.
 """
 
+from repro.simulator import kernels
+from repro.simulator.kernels import (
+    ENGINE_PAIR,
+    ENGINE_TENSORDOT,
+    apply_gate_tensordot,
+    kernel_engine,
+)
 from repro.simulator.statevector import StatevectorSimulator, simulate_statevector
 from repro.simulator.batched import (
     BatchedStatevectorSimulator,
@@ -30,6 +42,11 @@ from repro.simulator.expectation import (
 )
 
 __all__ = [
+    "ENGINE_PAIR",
+    "ENGINE_TENSORDOT",
+    "apply_gate_tensordot",
+    "kernel_engine",
+    "kernels",
     "StatevectorSimulator",
     "simulate_statevector",
     "BatchedStatevectorSimulator",

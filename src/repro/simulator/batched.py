@@ -38,6 +38,8 @@ from repro.circuits.gates import (
 from repro.circuits.program import CompiledProgram
 from repro.compiler import GatePlan, compile_plan
 from repro.obs import TRACER
+from repro.simulator import kernels
+from repro.simulator.kernels import ENGINE_TENSORDOT, PendingOneQubitGates
 
 __all__ = [
     "BATCHED_GATE_BUILDERS",
@@ -54,16 +56,10 @@ def apply_gate_batched(
 ) -> np.ndarray:
     """Apply one shared gate matrix to a ``(B, 2, ..., 2)`` state batch.
 
-    Mirrors :func:`repro.simulator.statevector.apply_gate` with every
-    qubit axis shifted one right to make room for the batch axis.
+    The shared tensordot reference with every qubit axis shifted one
+    right to make room for the batch axis.
     """
-    k = len(qubits)
-    tensor = matrix.reshape((2,) * (2 * k))
-    axes = tuple(q + 1 for q in qubits)
-    states = np.tensordot(tensor, states, axes=(tuple(range(k, 2 * k)), axes))
-    # tensordot leaves the k gate-output axes first and the batch axis at
-    # position k; moveaxis restores (batch, qubit axes...) order.
-    return np.moveaxis(states, tuple(range(k)), axes)
+    return kernels.apply_gate_tensordot(states, matrix, qubits, batch_axes=1)
 
 
 def apply_gates_elementwise(
@@ -72,17 +68,9 @@ def apply_gates_elementwise(
     """Apply per-batch-element gate matrices ``(B, 2**k, 2**k)``.
 
     Used for parameterized gates, where each batch element carries its
-    own angle: the target qubit axes are moved up front, the state is
-    flattened to ``(B, 2**k, rest)``, and batched ``matmul`` contracts
-    each element with its own matrix.
+    own angle; delegates to the shared batched-matmul reference.
     """
-    k = len(qubits)
-    axes = tuple(q + 1 for q in qubits)
-    moved = np.moveaxis(states, axes, tuple(range(1, k + 1)))
-    shape = moved.shape
-    flat = moved.reshape(shape[0], 2**k, -1)
-    out = np.matmul(matrices, flat).reshape(shape)
-    return np.moveaxis(out, tuple(range(1, k + 1)), axes)
+    return kernels.apply_gates_elementwise_reference(states, matrices, qubits)
 
 
 class BatchedStatevectorSimulator:
@@ -140,6 +128,8 @@ class BatchedStatevectorSimulator:
         thetas = self._validate_thetas(thetas, plan.num_parameters)
         states = self._initial(thetas.shape[0], initial_states)
         angles = plan.bind_angles_batch(thetas)
+        if kernels.kernel_engine() != ENGINE_TENSORDOT:
+            return self._run_plan_pair(plan, angles, states)
         tracer = TRACER
         if not tracer.enabled:
             for op in plan.ops:
@@ -168,6 +158,90 @@ class BatchedStatevectorSimulator:
                         states = apply_gates_elementwise(
                             states, matrices, op.qubits
                         )
+        return states
+
+    def _run_plan_pair(
+        self, plan: GatePlan, angles: np.ndarray, states: np.ndarray
+    ) -> np.ndarray:
+        """Pair-engine plan execution over the batch.
+
+        Static ops apply their shared matrix through the bit-indexed
+        kernels; parameterized ops carry per-element ``(B, 2**k, 2**k)``
+        stacks.  Single-qubit ops of either kind accumulate per target
+        qubit (``matmul`` broadcasting merges shared into per-element
+        products) and flush as one kernel call each.
+        """
+        scratch = np.empty_like(states)
+        pending = PendingOneQubitGates(plan.num_qubits)
+        tracer = TRACER
+        traced = tracer.enabled
+        span = (
+            tracer.span(
+                "sim.batched.run_plan", category="kernel",
+                ops=len(plan.ops), batch=int(states.shape[0]),
+                state_size=2**plan.num_qubits,
+            )
+            if traced
+            else None
+        )
+
+        def dispatch(matrix, qubits, kernel_class):
+            nonlocal states, scratch
+            if matrix.ndim == 3:
+                out = kernels.apply_gates_elementwise(
+                    states, matrix, qubits, kernel_class=kernel_class,
+                    engine="pair", scratch=scratch, in_place=True,
+                )
+            else:
+                out = kernels.apply_gate(
+                    states, matrix, qubits, batch_axes=1,
+                    kernel_class=kernel_class, engine="pair",
+                    scratch=scratch, in_place=True,
+                )
+            if out is not states:
+                states, scratch = out, states
+
+        def apply(matrix, qubits, kernel_class):
+            if traced:
+                with tracer.kernel_span(
+                    "kernel.batched.gate", sites=len(qubits),
+                    state_size=states.size,
+                ):
+                    dispatch(matrix, qubits, kernel_class)
+            else:
+                dispatch(matrix, qubits, kernel_class)
+
+        window = kernels.fusion_window(apply, states.size)
+
+        def run() -> None:
+            for op in plan.ops:
+                if op.matrix is not None:
+                    matrix = op.matrix
+                else:
+                    matrix = batched_gate_matrices(op.gate_name, angles[:, op.slot])
+                if len(op.qubits) == 1:
+                    pending.push(op.qubits[0], matrix, op.kernel_class)
+                    continue
+                kernel_class = op.kernel_class
+                if len(op.qubits) == 2:
+                    matrix, kernel_class = kernels.absorb_pending_2q(
+                        pending, matrix, op.qubits, kernel_class
+                    )
+                else:
+                    window.flush()
+                    for qubit in op.qubits:
+                        held = pending.pop(qubit)
+                        if held is not None:
+                            apply(held[0], (qubit,), held[1])
+                window.push(matrix, op.qubits, kernel_class)
+            window.flush()
+            kernels.flush_pending_paired(pending, apply)
+
+        if span is None:
+            run()
+        else:
+            with span:
+                run()
         return states
 
     def run_program(

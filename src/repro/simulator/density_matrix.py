@@ -25,8 +25,11 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import GATES
 from repro.compiler import GatePlan, NoisePlan, compile_noise_plan, compile_plan
+from repro.compiler.ir import KERNEL_DIAGONAL
 from repro.compiler.noise_plan import kraus_superoperator
 from repro.obs import TRACER
+from repro.simulator import kernels
+from repro.simulator.kernels import ENGINE_TENSORDOT
 
 
 class DensityMatrixSimulator:
@@ -81,6 +84,38 @@ class DensityMatrixSimulator:
     ) -> np.ndarray:
         rho = self._apply_operator_left(rho, matrix, qubits)
         return self._apply_operator_right(rho, matrix, qubits)
+
+    def _apply_unitary_pair(
+        self,
+        rho: np.ndarray,
+        matrix: np.ndarray,
+        qubits: Tuple[int, ...],
+        kernel_class: Optional[str],
+        scratch: np.ndarray,
+        engine: str,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Left/right multiplication through the bit-indexed kernels.
+
+        The rank-``2n`` density tensor is a ``2n``-qubit state to the
+        kernels: the left multiply targets the ket axes ``qubits``, the
+        right multiply applies the conjugate matrix on the bra axes
+        ``n + q`` (conjugation preserves the kernel class).  Returns the
+        updated ``(rho, scratch)`` ping-pong pair.
+        """
+        out = kernels.apply_gate(
+            rho, matrix, qubits, kernel_class=kernel_class,
+            engine=engine, scratch=scratch, in_place=True,
+        )
+        if out is not rho:
+            rho, scratch = out, rho
+        bra_qubits = tuple(self.num_qubits + q for q in qubits)
+        out = kernels.apply_gate(
+            rho, matrix.conj(), bra_qubits, kernel_class=kernel_class,
+            engine=engine, scratch=scratch, in_place=True,
+        )
+        if out is not rho:
+            rho, scratch = out, rho
+        return rho, scratch
 
     def apply_superop(
         self, rho: np.ndarray, superop: np.ndarray, qubits: Tuple[int, ...]
@@ -160,6 +195,37 @@ class DensityMatrixSimulator:
         if plan.num_qubits != self.num_qubits:
             raise ValueError("plan qubit count mismatch")
         rho = self._as_tensor(initial_state)
+        engine = kernels.kernel_engine()
+        if engine != ENGINE_TENSORDOT:
+            matrices = plan.slot_matrices(plan.bind_angles(theta))
+            scratch = np.empty_like(rho)
+            tracer = TRACER
+            if not tracer.enabled:
+                for op in plan.ops:
+                    matrix = (
+                        op.matrix if op.matrix is not None else matrices[op.slot]
+                    )
+                    rho, scratch = self._apply_unitary_pair(
+                        rho, matrix, op.qubits, op.kernel_class, scratch, engine
+                    )
+                return rho
+            with tracer.span(
+                "sim.density_matrix.run_plan", category="kernel",
+                ops=len(plan.ops), state_size=4**plan.num_qubits,
+            ):
+                for op in plan.ops:
+                    matrix = (
+                        op.matrix if op.matrix is not None else matrices[op.slot]
+                    )
+                    with tracer.kernel_span(
+                        "kernel.dm.unitary", sites=len(op.qubits),
+                        state_size=rho.size,
+                    ):
+                        rho, scratch = self._apply_unitary_pair(
+                            rho, matrix, op.qubits, op.kernel_class,
+                            scratch, engine,
+                        )
+            return rho
         tracer = TRACER
         if not tracer.enabled:
             for qubits, matrix in plan.op_matrices(theta):
@@ -190,6 +256,9 @@ class DensityMatrixSimulator:
         if plan.num_qubits != self.num_qubits:
             raise ValueError("plan qubit count mismatch")
         rho = self._as_tensor(initial_state)
+        engine = kernels.kernel_engine()
+        if engine != ENGINE_TENSORDOT:
+            return self._run_noise_plan_pair(plan, rho, engine)
         tracer = TRACER
         if not tracer.enabled:
             for op in plan.ops:
@@ -215,6 +284,81 @@ class DensityMatrixSimulator:
                         state_size=rho.size,
                     ):
                         rho = self.apply_superop(rho, op.superop, op.qubits)
+        return rho
+
+    def _run_noise_plan_pair(
+        self, plan: NoisePlan, rho: np.ndarray, engine: str
+    ) -> np.ndarray:
+        """Pair-engine noisy execution.
+
+        Unitary sites ride the bit-indexed left/right multiplications;
+        channel sites keep the single-tensordot superoperator contraction
+        — except *diagonal* superoperators (pure-dephasing channels),
+        which apply as one in-place elementwise multiply on the combined
+        ket/bra axes.
+        """
+        scratch = np.empty_like(rho)
+        tracer = TRACER
+        traced = tracer.enabled
+        span = (
+            tracer.span(
+                "sim.density_matrix.run_noise_plan", category="kernel",
+                ops=len(plan.ops), state_size=4**plan.num_qubits,
+            )
+            if traced
+            else None
+        )
+
+        def superop_site(op) -> None:
+            nonlocal rho, scratch
+            if op.superop_class == KERNEL_DIAGONAL:
+                axes = tuple(op.qubits) + tuple(
+                    self.num_qubits + q for q in op.qubits
+                )
+                out = kernels.apply_gate(
+                    rho, op.superop, axes, kernel_class=KERNEL_DIAGONAL,
+                    engine=engine, scratch=scratch, in_place=True,
+                )
+                if out is not rho:
+                    rho, scratch = out, rho
+            else:
+                rho = self.apply_superop(rho, op.superop, op.qubits)
+                if not rho.flags.c_contiguous:
+                    np.copyto(scratch, rho)
+                    rho, scratch = scratch, rho
+
+        def run() -> None:
+            nonlocal rho, scratch
+            for op in plan.ops:
+                if op.matrix is not None:
+                    if traced:
+                        with tracer.kernel_span(
+                            "kernel.dm.unitary", sites=len(op.qubits),
+                            state_size=rho.size,
+                        ):
+                            rho, scratch = self._apply_unitary_pair(
+                                rho, op.matrix, op.qubits, op.kernel_class,
+                                scratch, engine,
+                            )
+                    else:
+                        rho, scratch = self._apply_unitary_pair(
+                            rho, op.matrix, op.qubits, op.kernel_class,
+                            scratch, engine,
+                        )
+                elif traced:
+                    with tracer.kernel_span(
+                        "kernel.dm.superop", sites=len(op.qubits),
+                        state_size=rho.size,
+                    ):
+                        superop_site(op)
+                else:
+                    superop_site(op)
+
+        if span is None:
+            run()
+        else:
+            with span:
+                run()
         return rho
 
     def run_circuit(

@@ -1,0 +1,79 @@
+"""Kernel engine selection and execution knobs.
+
+Three environment variables configure the gate-application layer:
+
+``REPRO_KERNEL``
+    ``pair`` (default) routes gate application through the bit-indexed
+    in-place kernels in :mod:`repro.simulator.kernels.pair`;
+    ``tensordot`` preserves the historic reshape + ``tensordot`` + axis
+    restore path (:mod:`repro.simulator.kernels.reference`) as the
+    parity reference and working fallback.
+
+``REPRO_KERNEL_THREADS``
+    Worker threads for chunked dense updates (default 1 = serial).
+    Chunks are disjoint elementwise tiles, so threaded results are
+    bit-identical to serial ones.
+
+``REPRO_KERNEL_CHUNK``
+    Chunk size in state *elements* (default 65536 = one megabyte of
+    complex128 per tile) for 20+-qubit statevectors, keeping each
+    tile's working set cache-resident.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+ENGINE_ENV = "REPRO_KERNEL"
+THREADS_ENV = "REPRO_KERNEL_THREADS"
+CHUNK_ENV = "REPRO_KERNEL_CHUNK"
+
+ENGINE_PAIR = "pair"
+ENGINE_TENSORDOT = "tensordot"
+
+#: Default chunk size in state elements (complex128 => 1 MiB tiles).
+DEFAULT_CHUNK = 65536
+
+_executor_lock = threading.Lock()
+_executor: Optional[ThreadPoolExecutor] = None
+_executor_size = 0
+
+
+def kernel_engine() -> str:
+    """Active engine name: ``tensordot`` opts out, everything else is pair."""
+    if os.environ.get(ENGINE_ENV, ENGINE_PAIR) == ENGINE_TENSORDOT:
+        return ENGINE_TENSORDOT
+    return ENGINE_PAIR
+
+
+def kernel_threads() -> int:
+    """Worker-thread count for chunked dense updates (>= 1)."""
+    try:
+        return max(1, int(os.environ.get(THREADS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+def kernel_chunk() -> int:
+    """Chunk size in state elements (>= 1024 so tiles stay GEMM-sized)."""
+    try:
+        return max(1024, int(os.environ.get(CHUNK_ENV, str(DEFAULT_CHUNK))))
+    except ValueError:
+        return DEFAULT_CHUNK
+
+
+def get_executor(threads: int) -> ThreadPoolExecutor:
+    """Lazily build (and resize) the shared chunk-worker pool."""
+    global _executor, _executor_size
+    with _executor_lock:
+        if _executor is None or _executor_size != threads:
+            if _executor is not None:
+                _executor.shutdown(wait=False)
+            _executor = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-kernel"
+            )
+            _executor_size = threads
+        return _executor

@@ -8,6 +8,12 @@ Execution consumes the compiler's :class:`~repro.compiler.GatePlan` IR;
 the legacy :class:`~repro.circuits.program.CompiledProgram` is still
 accepted for backward compatibility. ``run_circuit`` compiles through the
 shared plan cache, so repeated bound-circuit runs are compile-free.
+
+Gate application dispatches through :mod:`repro.simulator.kernels` on the
+ops' pre-lowered kernel classes: the default ``pair`` engine updates the
+state with bit-indexed in-place/ping-pong kernels, while
+``REPRO_KERNEL=tensordot`` preserves the historic reshape + ``tensordot``
+path bit-identically.
 """
 
 from __future__ import annotations
@@ -20,22 +26,19 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.program import CompiledProgram
 from repro.compiler import GatePlan, compile_plan
 from repro.obs import TRACER
+from repro.simulator import kernels
+from repro.simulator.kernels import ENGINE_TENSORDOT, PendingOneQubitGates
 
 
 def apply_gate(
     state: np.ndarray, matrix: np.ndarray, qubits: Tuple[int, ...]
 ) -> np.ndarray:
-    """Apply a k-qubit gate matrix to the state tensor in place-ish.
+    """Apply a k-qubit gate matrix via the shared tensordot reference.
 
     Returns the (possibly new) state tensor; callers must use the return
     value because ``moveaxis`` produces views/copies.
     """
-    k = len(qubits)
-    tensor = matrix.reshape((2,) * (2 * k))
-    # Contract the gate's input indices with the state's qubit axes, then
-    # move the resulting output axes back to the qubit positions.
-    state = np.tensordot(tensor, state, axes=(tuple(range(k, 2 * k)), qubits))
-    return np.moveaxis(state, tuple(range(k)), qubits)
+    return kernels.apply_gate_tensordot(state, matrix, qubits)
 
 
 class StatevectorSimulator:
@@ -68,20 +71,95 @@ class StatevectorSimulator:
         if plan.num_qubits != self.num_qubits:
             raise ValueError("plan qubit count mismatch")
         state = self._initial(initial_state)
-        tracer = TRACER
-        if not tracer.enabled:
-            for qubits, matrix in plan.op_matrices(theta):
-                state = apply_gate(state, matrix, qubits)
-            return state
-        with tracer.span(
-            "sim.statevector.run_plan", category="kernel",
-            ops=len(plan.ops), state_size=2**plan.num_qubits,
-        ):
-            for qubits, matrix in plan.op_matrices(theta):
-                with tracer.kernel_span(
-                    "kernel.sv.gate", sites=len(qubits), state_size=state.size
-                ):
+        if kernels.kernel_engine() == ENGINE_TENSORDOT:
+            tracer = TRACER
+            if not tracer.enabled:
+                for qubits, matrix in plan.op_matrices(theta):
                     state = apply_gate(state, matrix, qubits)
+                return state
+            with tracer.span(
+                "sim.statevector.run_plan", category="kernel",
+                ops=len(plan.ops), state_size=2**plan.num_qubits,
+            ):
+                for qubits, matrix in plan.op_matrices(theta):
+                    with tracer.kernel_span(
+                        "kernel.sv.gate", sites=len(qubits), state_size=state.size
+                    ):
+                        state = apply_gate(state, matrix, qubits)
+            return state
+        return self._run_plan_pair(plan, theta, state)
+
+    def _run_plan_pair(
+        self, plan: GatePlan, theta: Sequence[float], state: np.ndarray
+    ) -> np.ndarray:
+        """Pair-engine plan execution: ping-pong scratch + lazy 1q merge.
+
+        Consecutive single-qubit ops accumulate per target qubit
+        (:class:`~repro.simulator.kernels.PendingOneQubitGates`) and
+        flush as one kernel call when a multi-qubit op touches their
+        qubit or at plan end.
+        """
+        matrices = plan.slot_matrices(plan.bind_angles(theta))
+        scratch = np.empty_like(state)
+        pending = PendingOneQubitGates(plan.num_qubits)
+        tracer = TRACER
+        traced = tracer.enabled
+        span = (
+            tracer.span(
+                "sim.statevector.run_plan", category="kernel",
+                ops=len(plan.ops), state_size=2**plan.num_qubits,
+            )
+            if traced
+            else None
+        )
+
+        def dispatch(matrix, qubits, kernel_class):
+            nonlocal state, scratch
+            out = kernels.apply_gate(
+                state, matrix, qubits, kernel_class=kernel_class,
+                engine="pair", scratch=scratch, in_place=True,
+            )
+            if out is not state:
+                state, scratch = out, state
+
+        def apply(matrix, qubits, kernel_class):
+            if traced:
+                with tracer.kernel_span(
+                    "kernel.sv.gate", sites=len(qubits),
+                    state_size=state.size,
+                ):
+                    dispatch(matrix, qubits, kernel_class)
+            else:
+                dispatch(matrix, qubits, kernel_class)
+
+        window = kernels.fusion_window(apply, state.size)
+
+        def run() -> None:
+            for op in plan.ops:
+                matrix = op.matrix if op.matrix is not None else matrices[op.slot]
+                if len(op.qubits) == 1:
+                    pending.push(op.qubits[0], matrix, op.kernel_class)
+                    continue
+                kernel_class = op.kernel_class
+                if len(op.qubits) == 2:
+                    matrix, kernel_class = kernels.absorb_pending_2q(
+                        pending, matrix, op.qubits, kernel_class
+                    )
+                else:
+                    window.flush()
+                    for qubit in op.qubits:
+                        held = pending.pop(qubit)
+                        if held is not None:
+                            apply(held[0], (qubit,), held[1])
+                window.push(matrix, op.qubits, kernel_class)
+            window.flush()
+            kernels.flush_pending_paired(pending, apply)
+
+        if span is None:
+            run()
+        else:
+            with span:
+                run()
         return state
 
     def run_program(
