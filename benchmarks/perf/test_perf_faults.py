@@ -1,0 +1,103 @@
+"""Perf benchmark for the fault-injection/retry layer.
+
+Measures the fleet drain loop over a stubbed (near-zero-cost) workload
+twice: fault-free, and under a deterministic schedule that fails the
+first two attempts of every job (so each job retries twice and backs
+off on the simulated clock). The derived ``retry_overhead_fleet`` ratio
+bounds what the recovery machinery costs on top of a clean drain —
+``tools/check_bench.py`` gates it against a ceiling.
+
+``fleet_drain_clean`` is its own reference: it starts the
+recovery-bound cost family (dispatch plus store transitions, no VQE
+underneath), so it is a unit of measurement; ``fleet_drain_faulty``
+normalizes against it, keeping the tracked ratio machine-independent.
+"""
+
+from __future__ import annotations
+
+from repro.faults import INJECTOR, FaultPlan, RetryPolicy
+from repro.fleet import FleetService
+from repro.runtime.execute import execute_run
+from repro.runtime.results import RunResult
+from repro.runtime.spec import RunSpec
+
+MACHINES = ["toronto", "cairo"]
+
+JOBS = 8
+
+SPECS = [
+    RunSpec(app="App1", scheme="baseline", iterations=4, seed=seed)
+    for seed in range(JOBS)
+]
+
+#: Two retries per job, deterministically (attempts 0 and 1 fail).
+FAULT_PLAN = FaultPlan.parse("execute.run:fail:hits=0,1")
+
+RETRY = RetryPolicy(max_attempts=4, backoff_base=1, jitter=0)
+
+_TEMPLATE = None
+
+
+def _stub_execute(spec: RunSpec) -> RunResult:
+    """The fault site and result plumbing without the VQE underneath."""
+    global _TEMPLATE
+    INJECTOR.fire("execute.run", run_id=spec.run_id)
+    if _TEMPLATE is None:
+        _TEMPLATE = execute_run(
+            RunSpec(app="App1", scheme="baseline", iterations=2, seed=0)
+        )
+    return RunResult(
+        spec=spec,
+        result=_TEMPLATE.result,
+        ground_truth=_TEMPLATE.ground_truth,
+        elapsed_s=0.0,
+    )
+
+
+def _drain(retry: RetryPolicy) -> int:
+    service = FleetService(
+        machines=MACHINES, execute=_stub_execute, retry=retry
+    )
+    try:
+        results = service.run_specs(SPECS, timeout=120)
+        return len(results)
+    finally:
+        service.close()
+
+
+def test_fleet_drain_clean(record_benchmark):
+    INJECTOR.uninstall()
+
+    def clean_round():
+        return _drain(RETRY)
+
+    completed = record_benchmark(
+        "fleet_drain_clean",
+        clean_round,
+        rounds=5,
+        reference="fleet_drain_clean",
+        jobs=JOBS,
+    )
+    assert completed == JOBS
+
+
+def test_fleet_drain_faulty(record_benchmark):
+    INJECTOR.install(FAULT_PLAN)
+
+    def faulty_round():
+        # Fresh invocation counters so the schedule re-fires each round.
+        INJECTOR.reset()
+        return _drain(RETRY)
+
+    try:
+        completed = record_benchmark(
+            "fleet_drain_faulty",
+            faulty_round,
+            rounds=5,
+            reference="fleet_drain_clean",
+            jobs=JOBS,
+            retries_per_job=2,
+        )
+    finally:
+        INJECTOR.uninstall()
+    assert completed == JOBS

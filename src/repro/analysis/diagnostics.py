@@ -93,6 +93,9 @@ CODE_TABLE: Dict[str, CodeSpec] = {
         CodeSpec("RPR106", "direct-timing", Severity.ERROR,
                  "direct time.time()/perf_counter()/monotonic() call outside "
                  "repro/obs/ (bypasses the observability clock)"),
+        CodeSpec("RPR107", "swallow", Severity.ERROR,
+                 "broad except swallows the exception without re-raising or "
+                 "failing the job (faults vanish instead of retrying)"),
     ]
 }
 

@@ -28,6 +28,12 @@ run is bit-identically seeded):
   :mod:`repro.obs`: timing routes through the observability clock
   (``repro.obs.clock`` / ``Stopwatch``) so span timestamps, deadlines
   and reported wall clocks stay mutually comparable.
+* **RPR107 / swallow** — a broad handler (bare ``except``, ``except
+  Exception``/``BaseException``, or a tuple containing either) whose
+  body neither re-raises nor routes the failure into the job lifecycle
+  (``mark_failed`` / ``record_failed`` / ``record_failure`` /
+  ``record_retry`` / ``fail_job``): under fault injection a swallowed
+  exception silently drops work the retry layer would have recovered.
 
 Findings are silenced per line with ``# repro: allow-<slug>`` (on the
 offending line or the line directly above).
@@ -87,6 +93,25 @@ _MUTATING_METHODS = {
     "append", "add", "update", "setdefault", "pop", "popitem", "clear",
     "extend", "insert", "remove", "discard",
 }
+
+#: Calls inside a broad except handler that count as routing the failure
+#: into the job lifecycle instead of swallowing it (RPR107).
+_FAILURE_SINKS = {
+    "mark_failed",
+    "record_failed",
+    "record_failure",
+    "record_retry",
+    "fail_job",
+}
+
+
+def _is_broad_handler(type_node: Optional[ast.expr]) -> bool:
+    """Bare ``except``, Exception/BaseException, or a tuple holding one."""
+    if type_node is None:
+        return True
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad_handler(elt) for elt in type_node.elts)
+    return _dotted_name(type_node) in ("Exception", "BaseException")
 
 
 def _suppressions(source: str) -> Dict[int, Set[str]]:
@@ -292,6 +317,42 @@ class _FileLinter(ast.NodeVisitor):
                 "(clock.perf_counter/monotonic/wall_time or Stopwatch) so "
                 "every timestamp shares one clock",
             )
+
+    # -- swallowed-exception rule (RPR107) -------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if _is_broad_handler(node.type):
+            handled = False
+            for child in ast.walk(node):
+                if isinstance(child, ast.Raise):
+                    handled = True
+                    break
+                if isinstance(child, ast.Call):
+                    func = child.func
+                    name = (
+                        func.attr
+                        if isinstance(func, ast.Attribute)
+                        else func.id if isinstance(func, ast.Name) else None
+                    )
+                    if name in _FAILURE_SINKS:
+                        handled = True
+                        break
+            if not handled:
+                caught = (
+                    "bare except"
+                    if node.type is None
+                    else f"except {ast.unparse(node.type)}"
+                )
+                self.emit(
+                    "RPR107",
+                    f"{caught} swallows the exception — no re-raise and no "
+                    "failure-sink call in the handler",
+                    node,
+                    hint="re-raise, narrow the exception type, route the "
+                    "failure through mark_failed/record_retry, or annotate "
+                    "a deliberate swallow with `# repro: allow-swallow`",
+                )
+        self.generic_visit(node)
 
     # -- set-iteration rule (RPR103) -------------------------------------------
 

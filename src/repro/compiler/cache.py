@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.parameter import Parameter, ParameterExpression
+from repro.faults.inject import InjectedFault, INJECTOR
 from repro.obs import METRICS
 
 DEFAULT_PLAN_CACHE_CAPACITY = 256
@@ -104,6 +105,16 @@ class PlanCache:
         """
         capacity = self.capacity
         family = self._metric_family(key)
+        try:
+            INJECTOR.fire("cache.plan.get", run_id=key)
+        except InjectedFault:
+            # Cache unavailable: degrade to a rebuild (a miss), never
+            # fail the caller — builds are pure functions of the key.
+            with self._lock:
+                self.misses += 1
+            METRICS.counter(f"cache.{family}.misses").inc()
+            METRICS.counter(f"cache.{family}.faults").inc()
+            return build()
         if capacity <= 0:
             with self._lock:
                 self.misses += 1

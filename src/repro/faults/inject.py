@@ -1,0 +1,214 @@
+"""The fault injector: named sites, deterministic schedules, a trace.
+
+Production code registers *fault sites* by calling
+:meth:`FaultInjector.fire` (for exception/crash/latency faults) or
+:meth:`FaultInjector.corrupt` (for payload corruption) at every boundary
+that can fail for real — JobStore transitions, ``execute_run``, store
+blob reads/writes, plan-cache access, calibration refresh. With no plan
+installed both calls are near-free no-ops, so the sites stay in the hot
+path permanently.
+
+A plan arrives either programmatically (:meth:`FaultInjector.install`)
+or lazily from the ``REPRO_FAULTS`` environment knob on the first
+``fire`` — the env route is what lets process-pool children and CLI
+subprocesses inherit the chaos schedule without any plumbing.
+
+Every triggered fault is counted (``fault.injected`` in
+:data:`repro.obs.METRICS`) and recorded; :meth:`FaultInjector.trace`
+returns the events in a deterministic sorted order, which is what the
+chaos tests compare run-over-run to prove schedules reproduce
+bit-identically (decisions are keyed per ``(site, run_id)`` invocation
+index, so thread interleaving cannot perturb them).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import METRICS
+
+#: Environment knob carrying a ``FaultPlan.parse`` schedule.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Prefix a ``corrupt`` fault prepends to a payload: breaks both the
+#: content address and JSON decoding, so corrupt reads/writes are always
+#: detected, never silently served.
+CORRUPT_PREFIX = "\x00corrupt::"
+
+
+class InjectedFault(RuntimeError):
+    """A scheduled *transient* failure — retryable by policy."""
+
+    def __init__(self, site: str, kind: str, index: int, detail: str = ""):
+        self.site = site
+        self.kind = kind
+        self.index = index
+        self.detail = detail
+        message = f"injected {kind} at {site} (invocation {index})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class InjectedCrash(RuntimeError):
+    """A scheduled *crash* — simulates process death before a commit.
+
+    Deliberately **not** an :class:`InjectedFault` subclass: retry
+    policies must never classify a crash as transient, and handlers that
+    degrade gracefully on ``InjectedFault`` must not swallow it.
+    """
+
+    def __init__(self, site: str, index: int, detail: str = ""):
+        self.site = site
+        self.index = index
+        self.detail = detail
+        message = f"injected crash at {site} (invocation {index})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class FaultInjector:
+    """Process-wide fault-site dispatcher with per-key invocation counts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._plan: Optional[FaultPlan] = None
+        self._env_resolved = False
+        #: (site, key) -> how many times the site fired for that key.
+        self._counts: Dict[Tuple[str, str], int] = {}
+        #: (spec position in plan) -> total triggers (for ``max=``).
+        self._spec_triggers: Dict[int, int] = {}
+        self._events: List[Dict[str, Any]] = []
+
+    # -- plan management -----------------------------------------------------
+
+    def install(self, plan: Optional[FaultPlan]) -> None:
+        """Install a plan (or ``None``) and reset all schedule state."""
+        with self._lock:
+            self._plan = plan
+            self._env_resolved = True
+            self._counts.clear()
+            self._spec_triggers.clear()
+            self._events.clear()
+
+    def uninstall(self) -> None:
+        """Drop the plan and return to lazy ``REPRO_FAULTS`` resolution."""
+        with self._lock:
+            self._plan = None
+            self._env_resolved = False
+            self._counts.clear()
+            self._spec_triggers.clear()
+            self._events.clear()
+
+    def reset(self) -> None:
+        """Clear invocation counts and events, keeping the plan."""
+        with self._lock:
+            self._counts.clear()
+            self._spec_triggers.clear()
+            self._events.clear()
+
+    def _resolve(self) -> Optional[FaultPlan]:
+        with self._lock:
+            if not self._env_resolved:
+                text = os.environ.get(FAULTS_ENV, "").strip()
+                self._plan = FaultPlan.parse(text) if text else None
+                self._env_resolved = True
+            return self._plan
+
+    @property
+    def active(self) -> bool:
+        return self._resolve() is not None
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _decide(
+        self, plan: FaultPlan, site: str, key: str, kinds: Tuple[str, ...]
+    ) -> Optional[Tuple[FaultSpec, int]]:
+        """Bump the ``(site, key)`` counter; return a triggered spec.
+
+        The counter advances on every invocation (triggered or not) so
+        ``hits=`` indices line up with call order; the first matching
+        spec of an accepted kind that triggers (and is under its
+        ``max=`` cap) wins.
+        """
+        with self._lock:
+            index = self._counts.get((site, key), 0)
+            self._counts[(site, key)] = index + 1
+            for position, spec in enumerate(plan.specs):
+                if spec.kind not in kinds or not spec.matches(site):
+                    continue
+                if not spec.triggers(site, key, index, plan.seed):
+                    continue
+                fired = self._spec_triggers.get(position, 0)
+                if spec.max_triggers is not None and fired >= spec.max_triggers:
+                    continue
+                self._spec_triggers[position] = fired + 1
+                self._events.append(
+                    {
+                        "site": site,
+                        "key": key,
+                        "index": index,
+                        "kind": spec.kind,
+                    }
+                )
+                return spec, index
+        return None
+
+    def fire(self, site: str, run_id: Optional[str] = None) -> None:
+        """Evaluate exception/crash/latency faults at ``site``.
+
+        ``run_id`` (or any stable key) scopes the invocation counter so
+        schedules are insensitive to thread interleaving; ``None`` falls
+        back to a per-site counter (fine for serial call sites).
+        """
+        plan = self._resolve()
+        if plan is None:
+            return
+        key = run_id if run_id is not None else "-"
+        hit = self._decide(plan, site, key, ("fail", "crash", "latency"))
+        if hit is None:
+            return
+        spec, index = hit
+        METRICS.counter("fault.injected").inc()
+        if spec.kind == "crash":
+            raise InjectedCrash(site, index, spec.detail)
+        if spec.kind == "latency":
+            time.sleep(spec.latency_s)
+            return
+        raise InjectedFault(site, spec.kind, index, spec.detail)
+
+    def corrupt(self, site: str, payload: str, run_id: Optional[str] = None) -> str:
+        """Deterministically mangle ``payload`` when a corrupt fault fires.
+
+        The mangled text fails both JSON decoding and any content-address
+        check, so downstream integrity guards must notice it.
+        """
+        plan = self._resolve()
+        if plan is None:
+            return payload
+        key = run_id if run_id is not None else "-"
+        hit = self._decide(plan, site, key, ("corrupt",))
+        if hit is None:
+            return payload
+        METRICS.counter("fault.injected").inc()
+        return CORRUPT_PREFIX + payload
+
+    # -- inspection ----------------------------------------------------------
+
+    def trace(self) -> List[Dict[str, Any]]:
+        """Triggered-fault events in deterministic (sorted) order."""
+        with self._lock:
+            events = [dict(event) for event in self._events]
+        events.sort(
+            key=lambda e: (e["site"], e["key"], e["index"], e["kind"])
+        )
+        return events
+
+
+#: The process-wide injector every fault site fires through.
+INJECTOR = FaultInjector()

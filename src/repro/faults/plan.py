@@ -1,0 +1,177 @@
+"""Deterministic fault plans: *what* fails, *where*, and *when*.
+
+A :class:`FaultPlan` is a declarative schedule of injected failures over
+the named fault sites registered across the execution stack (JobStore
+transitions, ``execute_run``, store blob I/O, plan-cache access, device
+calibration refresh — see the README's fault-site table). Schedules are
+pure functions of content-hashed seeds (:func:`repro.utils.rng.derive_seed`
+over ``(seed, site, kind, key, index)``), never of wall-clock time or the
+global RNG, so a failure run reproduces bit-identically: the same plan
+against the same workload injects exactly the same faults, regardless of
+thread interleaving (each decision is keyed by the *per-site, per-run-id*
+invocation index, not a global counter).
+
+Plans come from code (``FaultPlan(specs=(...,))``) or from the
+``REPRO_FAULTS`` environment knob, whose grammar is::
+
+    site:kind[:key=value]*[;site:kind...]
+
+for example::
+
+    REPRO_FAULTS="execute.run:fail:rate=0.25:seed=11;jobstore.mark_done:crash:hits=3"
+
+* ``site`` — a fault-site name, exact or an ``fnmatch`` glob
+  (``jobstore.*``);
+* ``kind`` — ``fail`` (raise a transient :class:`~repro.faults.inject.
+  InjectedFault`), ``crash`` (raise :class:`~repro.faults.inject.
+  InjectedCrash`, simulating process death before commit), ``latency``
+  (sleep a spike), or ``corrupt`` (mangle a payload passing through the
+  site);
+* ``rate=<float>`` — per-invocation trigger probability (default 1.0);
+* ``hits=<i,j,...>`` — explicit 0-based invocation indices that trigger
+  (overrides ``rate``);
+* ``max=<n>`` — cap on total triggers for this spec;
+* ``latency=<seconds>`` — sleep length for ``latency`` faults;
+* ``detail=<text>`` — free-form message carried by the raised fault;
+* ``seed=<int>`` — per-spec seed override (else the plan seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import List, Optional, Tuple
+
+from repro.utils.rng import derive_seed
+
+#: The fault kinds a spec may schedule.
+KINDS = ("fail", "crash", "latency", "corrupt")
+
+#: Default sleep for ``latency`` faults (seconds) — long enough to shuffle
+#: thread interleavings, short enough to keep chaos suites fast.
+DEFAULT_LATENCY_S = 0.005
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: a site pattern, a kind, and a trigger rule."""
+
+    site: str
+    kind: str
+    rate: float = 1.0
+    hits: Tuple[int, ...] = ()
+    max_triggers: Optional[int] = None
+    latency_s: float = DEFAULT_LATENCY_S
+    detail: str = ""
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("fault site must be non-empty")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        if any(h < 0 for h in self.hits):
+            raise ValueError("hits must be >= 0")
+        if self.max_triggers is not None and self.max_triggers < 1:
+            raise ValueError("max must be >= 1")
+        if self.latency_s <= 0:
+            raise ValueError("latency must be positive")
+
+    def matches(self, site: str) -> bool:
+        return self.site == site or fnmatchcase(site, self.site)
+
+    def triggers(self, site: str, key: str, index: int, plan_seed: int) -> bool:
+        """Whether invocation ``index`` of ``(site, key)`` fires this fault.
+
+        ``hits`` wins when given; otherwise a derived-seed Bernoulli draw
+        at ``rate``. Either way the decision is a pure function of
+        ``(seed, site, kind, key, index)`` — reproducible across runs,
+        processes and thread interleavings.
+        """
+        if self.hits:
+            return index in self.hits
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        seed = self.seed if self.seed is not None else plan_seed
+        draw = derive_seed(seed, f"fault:{site}:{self.kind}:{key}:{index}")
+        return (draw / float(1 << 63)) < self.rate
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` plus the schedule seed."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 2023
+
+    def matching(self, site: str) -> Tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.specs if spec.matches(site))
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        return tuple(sorted({spec.site for spec in self.specs}))
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 2023) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar (see the module docstring)."""
+        specs: List[FaultSpec] = []
+        for segment in text.split(";"):
+            segment = segment.strip()
+            if not segment:
+                continue
+            fields = segment.split(":")
+            if len(fields) < 2:
+                raise ValueError(
+                    f"fault segment {segment!r} needs at least site:kind"
+                )
+            site, kind = fields[0].strip(), fields[1].strip()
+            kwargs = {}
+            for option in fields[2:]:
+                name, sep, value = option.partition("=")
+                name, value = name.strip(), value.strip()
+                if not sep:
+                    raise ValueError(
+                        f"fault option {option!r} must be key=value"
+                    )
+                if name == "rate":
+                    kwargs["rate"] = float(value)
+                elif name == "hits":
+                    kwargs["hits"] = tuple(
+                        int(h) for h in value.split(",") if h.strip()
+                    )
+                elif name == "max":
+                    kwargs["max_triggers"] = int(value)
+                elif name == "latency":
+                    kwargs["latency_s"] = float(value)
+                elif name == "detail":
+                    kwargs["detail"] = value
+                elif name == "seed":
+                    kwargs["seed"] = int(value)
+                else:
+                    raise ValueError(f"unknown fault option {name!r}")
+            specs.append(FaultSpec(site=site, kind=kind, **kwargs))
+        return cls(specs=tuple(specs), seed=seed)
+
+    def render(self) -> str:
+        """Round-trip a plan back to ``REPRO_FAULTS`` syntax."""
+        segments = []
+        for spec in self.specs:
+            parts = [spec.site, spec.kind]
+            if spec.hits:
+                parts.append("hits=" + ",".join(str(h) for h in spec.hits))
+            elif spec.rate != 1.0:
+                parts.append(f"rate={spec.rate}")
+            if spec.max_triggers is not None:
+                parts.append(f"max={spec.max_triggers}")
+            if spec.latency_s != DEFAULT_LATENCY_S:
+                parts.append(f"latency={spec.latency_s}")
+            if spec.detail:
+                parts.append(f"detail={spec.detail}")
+            if spec.seed is not None:
+                parts.append(f"seed={spec.seed}")
+            segments.append(":".join(parts))
+        return ";".join(segments)

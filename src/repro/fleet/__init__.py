@@ -15,6 +15,8 @@ Layers (bottom-up):
   table keyed by ``RunSpec`` content hash (resubmission dedupes);
 * :mod:`~repro.fleet.scheduler` — :class:`TransientAwareScheduler`:
   defer-or-route decisions from per-device transient verdicts;
+* :mod:`~repro.fleet.health` — :class:`DeviceHealth`: quarantine after
+  consecutive failures/transients, probe-based re-admission;
 * :mod:`~repro.fleet.workers` — one worker thread per device;
 * :mod:`~repro.fleet.service` — :class:`FleetService`: submit / drain /
   collect, plus telemetry;
@@ -25,6 +27,7 @@ CLI::
 
     python -m repro.fleet submit --apps App1 App2 --schemes baseline qismet \
         --iterations 100 --db fleet.db
+    python -m repro.fleet drain --resume --db fleet.db
     python -m repro.fleet status --db fleet.db
     python -m repro.fleet stats  --db fleet.db
     python -m repro.fleet devices
@@ -36,6 +39,7 @@ from repro.fleet.executor import (
     FleetExecutor,
     fleet_executor_from_env,
 )
+from repro.fleet.health import DeviceHealth, HealthConfig
 from repro.fleet.registry import DeviceFleet, FleetDevice, InjectedWindow
 from repro.fleet.scheduler import (
     SchedulerConfig,
@@ -49,11 +53,13 @@ from repro.fleet.telemetry import FleetTelemetry
 __all__ = [
     "FLEET_DB_ENV",
     "DeviceFleet",
+    "DeviceHealth",
     "FleetDevice",
     "FleetError",
     "FleetExecutor",
     "FleetService",
     "FleetTelemetry",
+    "HealthConfig",
     "InjectedWindow",
     "JobRecord",
     "JobStore",

@@ -4,6 +4,13 @@ Subcommands:
 
 * ``submit``  — build an :class:`~repro.runtime.spec.ExperimentPlan` from
   flags (or a plan JSON file) and run it through the fleet service;
+* ``drain``   — finish whatever an existing job store still owes:
+  requeue stranded ``running`` rows (crash recovery) and execute every
+  ``queued`` job; ``--resume`` additionally re-queues ``failed`` jobs
+  (e.g. ones a timed-out drain marked with a ``timeout`` detail). A
+  sweep killed mid-drain finishes with bit-identical payloads under
+  ``drain --resume`` because every spec is seed-determined and
+  ``mark_done`` dedupes against already-persisted results;
 * ``status``  — per-status job counts and rows from a job store
   (``--expect done`` exits non-zero unless every job is done — the CI
   integration contract);
@@ -109,6 +116,48 @@ def cmd_submit(args) -> int:
                 plan=plan.to_dict(),
             )
             print(f"plan result saved to {export_to}")
+    return 0
+
+
+# -- drain (crash-safe resume) -------------------------------------------------
+
+
+def cmd_drain(args) -> int:
+    from repro.fleet.service import FleetError, FleetService
+    from repro.fleet.store import FAILED, QUEUED
+
+    db = _db_path(args)
+    if db is None:
+        print("drain requires --db or REPRO_FLEET_DB", file=sys.stderr)
+        return 2
+    with FleetService(
+        machines=args.machines or None,
+        db_path=db,
+        seed=args.fleet_seed,
+    ) as service:
+        # Constructing the service already requeued stranded `running`
+        # rows (crash recovery); --resume also retries failed jobs.
+        recovered = service.recovered
+        pending = service.store.jobs(status=QUEUED)
+        retried = []
+        if args.resume:
+            retried = service.store.jobs(status=FAILED)
+        specs = [record.spec for record in pending + retried]
+        print(
+            f"drain: {recovered} recovered, {len(pending)} queued, "
+            f"{len(retried)} failed re-queued"
+        )
+        if not specs:
+            print("nothing to drain")
+            return 0
+        try:
+            service.run_specs(specs, timeout=args.timeout)
+        except (FleetError, TimeoutError) as exc:
+            print(f"drain failed: {exc}", file=sys.stderr)
+            return 1
+        counts = service.store.counts()
+    print(" | ".join(f"{status}={n}" for status, n in sorted(counts.items())))
+    print(f"drained {len(specs)} job(s)")
     return 0
 
 
@@ -296,6 +345,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="deprecated alias of --export (one-release compatibility shim)",
     )
     submit.set_defaults(func=cmd_submit)
+
+    drain = sub.add_parser(
+        "drain", help="finish a job store's queued (and stranded) jobs"
+    )
+    drain.add_argument("--db", help=f"job store path (or {FLEET_DB_ENV})")
+    drain.add_argument("--machines", nargs="*", help="fleet machine subset")
+    drain.add_argument("--fleet-seed", type=int, default=2023)
+    drain.add_argument("--timeout", type=float, default=None)
+    drain.add_argument(
+        "--resume",
+        action="store_true",
+        help="also re-queue failed jobs (continue a killed/timed-out sweep)",
+    )
+    drain.set_defaults(func=cmd_drain)
 
     status = sub.add_parser("status", help="poll a job store")
     status.add_argument("--db", help=f"job store path (or {FLEET_DB_ENV})")

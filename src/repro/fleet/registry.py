@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.devices.device import DeviceModel
 from repro.devices.ibmq_fake import available_machines, get_device
+from repro.faults.inject import InjectedFault, INJECTOR
 from repro.fleet.clock import SimulatedClock
 from repro.noise.transient.trace import TransientTrace
 from repro.noise.transient.trace_generator import machine_trace
@@ -111,10 +112,20 @@ class FleetDevice:
 
     def model_at(self, tick: int) -> DeviceModel:
         """The device model under the calibration snapshot current at
-        ``tick`` (refreshing through any elapsed cycles)."""
+        ``tick`` (refreshing through any elapsed cycles).
+
+        A calibration-refresh fault (site ``device.calibration``) leaves
+        the previous snapshot in service — stale but usable — and the
+        cycle counter unadvanced, so the next ``model_at`` retries the
+        refresh instead of silently skipping the cycle forever.
+        """
         cycle = tick // self.recalibration_period
         with self._lock:
             while self._model_cycle < cycle:
+                try:
+                    INJECTOR.fire("device.calibration", run_id=self.name)
+                except InjectedFault:
+                    break  # serve the stale snapshot; retry next call
                 self._model_cycle += 1
                 self._model = self._model.recalibrate(
                     derive_seed(

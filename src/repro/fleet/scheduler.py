@@ -30,6 +30,13 @@ Routing policy (paper Section 5 transplanted to the fleet):
    least-loaded device (the paper's skip-budget escape hatch, which keeps
    a globally turbulent fleet from starving).
 
+When constructed with a :class:`~repro.fleet.health.DeviceHealth`
+tracker the scheduler additionally routes around *quarantined* devices
+(too many consecutive failures or transient verdicts); a quarantined
+device whose window elapsed is probed with the scheduler's own transient
+check and re-admitted when clean. Forced placements ignore quarantine so
+a fully-quarantined fleet still makes progress.
+
 Verdicts are pure functions of ``(device, tick)``, so routing is
 reproducible given the fleet seed and a job arrival order.
 """
@@ -41,6 +48,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.filtering.cfar import cfar_detect
 from repro.filtering.kalman import KalmanFilter1D
+from repro.fleet.health import DeviceHealth
 from repro.fleet.registry import DeviceFleet, FleetDevice
 from repro.runtime.spec import RunSpec, resolve_app
 
@@ -111,10 +119,15 @@ class TransientAwareScheduler:
     """Routes jobs across a :class:`DeviceFleet` by live transient state."""
 
     def __init__(
-        self, fleet: DeviceFleet, config: Optional[SchedulerConfig] = None
+        self,
+        fleet: DeviceFleet,
+        config: Optional[SchedulerConfig] = None,
+        health: Optional[DeviceHealth] = None,
     ):
         self.fleet = fleet
         self.config = config or SchedulerConfig()
+        #: Optional quarantine tracker (None = no health-based routing).
+        self.health = health
 
     # -- transient detection -------------------------------------------------
 
@@ -179,8 +192,9 @@ class TransientAwareScheduler:
         """Choose a device for ``spec`` at ``tick``.
 
         ``force=True`` skips the transient check (budget exhausted) and
-        places on the best-ranked device outright. ``exclude`` removes
-        devices from consideration (e.g. the device a worker just
+        places on the best-ranked device outright — ignoring quarantine,
+        so a fully-quarantined fleet cannot starve a job. ``exclude``
+        removes devices from consideration (e.g. the device a worker just
         deferred the job away from).
         """
         excluded = {name.lower() for name in exclude}
@@ -195,6 +209,8 @@ class TransientAwareScheduler:
             return RoutingDecision(device=candidates[0], forced=True)
         skipped: List[TransientVerdict] = []
         for device in candidates:
+            if self._quarantined(device, tick):
+                continue
             verdict = self.verdict(device, tick)
             if verdict.flagged:
                 skipped.append(verdict)
@@ -203,3 +219,18 @@ class TransientAwareScheduler:
                 device=device, deferred_from=tuple(skipped)
             )
         return RoutingDecision(device=None, deferred_from=tuple(skipped))
+
+    def _quarantined(self, device: FleetDevice, tick: int) -> bool:
+        """Health check: skip quarantined devices, probing expired windows.
+
+        The probe is the scheduler's own transient verdict at the current
+        tick — a quarantined device whose window elapsed re-admits only
+        if its monitored noise looks clean right now.
+        """
+        if self.health is None:
+            return False
+        return self.health.blocked(
+            device.name,
+            tick,
+            probe=lambda name: self.in_transient_window(device, tick),
+        )

@@ -32,11 +32,14 @@ import traceback
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.faults.inject import InjectedCrash
+from repro.faults.retry import RetryPolicy, call_with_retry
+from repro.fleet.health import DeviceHealth, HealthConfig
 from repro.fleet.registry import DeviceFleet, FleetDevice
 from repro.fleet.scheduler import SchedulerConfig, TransientAwareScheduler
-from repro.fleet.store import DONE, FAILED, JobStore
+from repro.fleet.store import DONE, FAILED, RUNNING, JobStore
 from repro.fleet.telemetry import FLEET_WIDE, FleetTelemetry
-from repro.obs import TRACER, monotonic
+from repro.obs import METRICS, TRACER, monotonic
 from repro.runtime.execute import execute_run
 from repro.runtime.results import PlanResult, RunResult
 from repro.runtime.spec import ExperimentPlan, RunSpec
@@ -45,12 +48,13 @@ from repro.runtime.spec import ExperimentPlan, RunSpec
 class FleetJob:
     """In-memory handle for one queued spec during a drain."""
 
-    __slots__ = ("spec", "run_id", "defers", "tried")
+    __slots__ = ("spec", "run_id", "defers", "attempts", "tried")
 
-    def __init__(self, spec: RunSpec):
+    def __init__(self, spec: RunSpec, attempts: int = 0):
         self.spec = spec
         self.run_id = spec.run_id
         self.defers = 0
+        self.attempts = attempts
         self.tried: List[str] = []
 
 
@@ -69,12 +73,24 @@ class FleetService:
         config: Optional[SchedulerConfig] = None,
         fleet: Optional[DeviceFleet] = None,
         execute: Callable[[RunSpec], RunResult] = execute_run,
+        retry: Optional[RetryPolicy] = None,
+        health: Optional[Union[DeviceHealth, HealthConfig]] = None,
     ):
         self.fleet = fleet or DeviceFleet(machines=machines, seed=seed)
         self.clock = self.fleet.clock
         self.store = JobStore(db_path if db_path else ":memory:")
-        self.store.requeue_running()  # crash recovery on shared stores
-        self.scheduler = TransientAwareScheduler(self.fleet, config=config)
+        #: Jobs found stranded ``running`` by a crashed predecessor and
+        #: requeued on open (crash recovery on shared stores).
+        self.recovered = self.store.requeue_running()
+        #: Uniform transient-failure policy for workers (jitter stream
+        #: seeded by the fleet seed so backoff schedules reproduce).
+        self.retry = retry if retry is not None else RetryPolicy.from_env(seed=seed)
+        if isinstance(health, HealthConfig):
+            health = DeviceHealth(health)
+        self.health = health if health is not None else DeviceHealth()
+        self.scheduler = TransientAwareScheduler(
+            self.fleet, config=config, health=self.health
+        )
         self.telemetry = FleetTelemetry()
         self.execute = execute
         self._pending: deque = deque()
@@ -158,7 +174,11 @@ class FleetService:
             with self._wake:
                 if spec.run_id in self._active:
                     continue
-            record = self.store.enqueue(spec, tick=tick)
+            record = call_with_retry(
+                lambda spec=spec: self.store.enqueue(spec, tick=tick),
+                policy=self.retry,
+                label=spec.run_id,
+            )
             if record.is_done:
                 self.store_hits += 1
                 self.telemetry.record_cache_hit(spec.run_id, tick)
@@ -167,7 +187,7 @@ class FleetService:
                 if spec.run_id in self._active:  # raced with another submit
                     continue
                 self._active.add(spec.run_id)
-                self._pending.append(FleetJob(spec))
+                self._pending.append(FleetJob(spec, attempts=record.attempts))
                 self._wake.notify_all()
         return run_ids
 
@@ -177,9 +197,13 @@ class FleetService:
         """Run the dispatch loop until every submitted job is done/failed.
 
         ``timeout`` (wall-clock seconds) guards against a wedged fleet;
-        ``None`` waits indefinitely. Worker threads live only for the
-        duration of the drain, and the telemetry rollup is persisted when
-        it ends — repeated drains on one service neither leak threads nor
+        ``None`` waits indefinitely. On timeout, still-pending and
+        still-running jobs are marked ``failed`` with a ``timeout``
+        detail (resubmitting them re-queues cleanly) before the
+        ``TimeoutError`` propagates — a timed-out drain never strands
+        rows in ``running``. Worker threads live only for the duration
+        of the drain, and the telemetry rollup is persisted when it
+        ends — repeated drains on one service neither leak threads nor
         lose counters.
         """
         from repro.fleet.workers import WorkerPool
@@ -217,10 +241,41 @@ class FleetService:
                         continue
                     self._dispatch(pool, job)
                     _check_deadline(deadline)
+        except TimeoutError:
+            self._abort_drain(timeout)
+            raise
         finally:
             self._drain_span = None
             pool.stop()
             self._persist_telemetry()
+
+    def _abort_drain(self, timeout: Optional[float]) -> None:
+        """Timeout cleanup: fail whatever the drain will not finish.
+
+        Pending jobs are failed outright; rows still ``running`` are
+        failed too, but a worker that completes after this sweep wins —
+        ``mark_done`` is idempotent and allowed from ``failed``, so a
+        straggler's success overwrites the timeout verdict rather than
+        colliding with it. ``_inflight`` is deliberately untouched: the
+        workers' own ``finally`` blocks decrement it.
+        """
+        detail = f"timeout: drain exceeded {timeout}s"
+        tick = self.clock.now()
+        with self._wake:
+            stranded = list(self._pending)
+            self._pending.clear()
+            for job in stranded:
+                self._active.discard(job.run_id)
+        for job in stranded:
+            self.store.mark_failed(job.run_id, detail, tick)
+            self.telemetry.record_failed(
+                FLEET_WIDE, job.run_id, tick, detail=detail
+            )
+        for run_id in self.store.run_ids(status=RUNNING):
+            self.store.mark_failed(run_id, detail, tick)
+            self.telemetry.record_failed(
+                FLEET_WIDE, run_id, tick, detail=detail
+            )
 
     def _warm_plan_cache(self) -> None:
         """Compile each pending app's ansatz once before workers start.
@@ -242,7 +297,8 @@ class FleetService:
             warmed.add(name)
             try:
                 warm_plan_cache(job.spec)
-            except Exception:  # pragma: no cover - warm-up is best effort
+            # repro: allow-swallow — warm-up is best effort; workers compile
+            except Exception:  # pragma: no cover
                 pass
 
     def _dispatch(self, pool, job: FleetJob) -> None:
@@ -273,6 +329,10 @@ class FleetService:
                     f" cfar={verdict.cfar_flag}"
                 ),
             )
+            if self.health.record_transient(verdict.device, tick):
+                self.telemetry.record_quarantined(
+                    verdict.device, tick, detail="consecutive transients"
+                )
         if not decision.placed:
             # Whole fleet inside transient windows: QISMET-style deferral.
             job.defers += 1
@@ -302,9 +362,14 @@ class FleetService:
         """Execute (or re-defer) one job on ``device``; worker-thread code.
 
         Structured so that *no* exception escapes into the worker loop: a
-        failure in the execute hook fails the job; a failure in the
-        harness itself (store I/O, telemetry) also fails the job rather
-        than killing the device's worker thread and wedging the drain.
+        retryable failure in the execute hook re-queues the job (with
+        backoff on the simulated clock) until the retry budget runs out,
+        any other failure fails the job; a failure in the harness itself
+        (store I/O, telemetry) also fails the job rather than killing the
+        device's worker thread and wedging the drain. An
+        :class:`InjectedCrash` simulates process death: the job's store
+        row is left exactly as the "dying" transition left it, which is
+        what the resume path recovers from.
         """
         with TRACER.attach(self._drain_span), TRACER.span(
             "fleet.job",
@@ -339,28 +404,71 @@ class FleetService:
             self.telemetry.record_scheduled(device.name, job.run_id, tick)
             try:
                 result = self.execute(job.spec)
+            except InjectedCrash:
+                raise  # simulated process death — never absorbed here
             except Exception as exc:  # job isolation boundary
                 detail = "".join(
                     traceback.format_exception_only(type(exc), exc)
                 ).strip()
+                if (
+                    self.retry.is_retryable(exc)
+                    and job.attempts + 1 < self.retry.max_attempts
+                ):
+                    # Transient failure with budget left: back off on the
+                    # simulated clock and hand the job back for rerouting.
+                    job.attempts = self.store.record_retry(
+                        job.run_id, detail, self.clock.now()
+                    )
+                    job.tried.append(device.name)
+                    METRICS.counter("retry.attempts").inc()
+                    self.telemetry.record_retried(
+                        device.name,
+                        job.run_id,
+                        self.clock.now(),
+                        detail=detail,
+                    )
+                    self.clock.advance(
+                        self.retry.backoff_ticks(job.run_id, job.attempts)
+                    )
+                    span.set(outcome="retried", attempts=job.attempts)
+                    requeue = True
+                    return
+                if self.retry.is_retryable(exc):
+                    METRICS.counter("retry.gave_up").inc()
                 self.store.mark_failed(job.run_id, detail, self.clock.now())
                 self.telemetry.record_failed(
                     device.name, job.run_id, self.clock.now(), detail=detail
                 )
+                if self.health.record_failure(device.name, self.clock.now()):
+                    self.telemetry.record_quarantined(
+                        device.name,
+                        self.clock.now(),
+                        detail="consecutive failures",
+                    )
                 span.set(outcome="failed")
             else:
                 self.store.mark_done(job.run_id, result, self.clock.now())
                 self.telemetry.record_completed(
                     device.name, job.run_id, self.clock.now()
                 )
+                self.health.record_success(device.name)
                 span.set(outcome="completed")
+            finished = True
+        except InjectedCrash:
+            # Simulated process death before a commit: the store row stays
+            # exactly where the crash left it (``running`` or ``queued``)
+            # and is recovered by the next service's ``requeue_running`` /
+            # ``drain --resume``. Only in-memory bookkeeping is released
+            # so the surviving drain can terminate.
+            span.set(outcome="crashed")
             finished = True
         except Exception as exc:  # harness failure: fail the job, not the worker
             detail = f"fleet internal error on {device.name}: {exc!r}"
             try:
                 self.store.mark_failed(job.run_id, detail, self.clock.now())
+            # repro: allow-swallow — store down; telemetry still records it
             except Exception:
-                pass  # the store itself is down; FleetError surfaces below
+                pass
             self.telemetry.record_failed(
                 device.name, job.run_id, self.clock.now(), detail=detail
             )

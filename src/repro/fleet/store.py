@@ -17,6 +17,17 @@ fallback and backfilled into the store on first access. All timestamps
 are fleet-clock ticks, keeping the store's contents reproducible
 run-over-run.
 
+Crash safety: every transition is journaled (WAL-style, via
+:meth:`~repro.store.ExperimentStore.journal_append` into the shared
+database), ``mark_done`` persists the result payload *before* flipping
+the row's status (so a crash between the two leaves a re-runnable
+``running`` row whose re-execution dedupes against the stored payload),
+and ``mark_done``/``mark_failed`` are idempotent so a resumed drain and
+a straggling worker cannot corrupt each other's state. Named fault
+sites (``jobstore.enqueue``, ``jobstore.mark_running``,
+``jobstore.mark_done``, ``jobstore.mark_done.commit``) let the chaos
+suite drive exactly these windows.
+
 One connection serves all worker threads, guarded by a lock
 (``check_same_thread=False``); SQLite serializes writes anyway, and the
 fleet's write rate is one row per job transition.
@@ -31,6 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.faults.inject import INJECTOR
 from repro.runtime.results import RunResult
 from repro.runtime.spec import RunSpec
 from repro.store.store import ExperimentStore
@@ -50,6 +62,7 @@ CREATE TABLE IF NOT EXISTS jobs (
     status      TEXT NOT NULL,
     device      TEXT,
     defers      INTEGER NOT NULL DEFAULT 0,
+    attempts    INTEGER NOT NULL DEFAULT 0,
     error       TEXT,
     result      TEXT,
     submitted_tick INTEGER NOT NULL DEFAULT 0,
@@ -63,13 +76,24 @@ CREATE TABLE IF NOT EXISTS telemetry (
     completed   INTEGER NOT NULL DEFAULT 0,
     failed      INTEGER NOT NULL DEFAULT 0,
     deferred    INTEGER NOT NULL DEFAULT 0,
-    cache_hits  INTEGER NOT NULL DEFAULT 0
+    cache_hits  INTEGER NOT NULL DEFAULT 0,
+    retries     INTEGER NOT NULL DEFAULT 0,
+    quarantines INTEGER NOT NULL DEFAULT 0
 );
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
 );
 """
+
+#: Columns added after the original schema shipped; ``CREATE TABLE IF
+#: NOT EXISTS`` cannot retrofit them, so existing databases get an
+#: additive ``ALTER TABLE`` on open.
+_COLUMN_MIGRATIONS = (
+    ("jobs", "attempts", "INTEGER NOT NULL DEFAULT 0"),
+    ("telemetry", "retries", "INTEGER NOT NULL DEFAULT 0"),
+    ("telemetry", "quarantines", "INTEGER NOT NULL DEFAULT 0"),
+)
 
 
 @dataclass
@@ -81,6 +105,7 @@ class JobRecord:
     status: str
     device: Optional[str] = None
     defers: int = 0
+    attempts: int = 0
     error: Optional[str] = None
     submitted_tick: int = 0
     started_tick: Optional[int] = None
@@ -97,6 +122,7 @@ class JobRecord:
             "status": self.status,
             "device": self.device,
             "defers": self.defers,
+            "attempts": self.attempts,
             "error": self.error,
             "submitted_tick": self.submitted_tick,
             "started_tick": self.started_tick,
@@ -121,12 +147,24 @@ class JobStore:
         self._conn.row_factory = sqlite3.Row
         with self._lock:
             self._conn.executescript(_SCHEMA)
+            self._migrate_columns_locked()
             self._conn.commit()
         # Result payloads live in the experiment lakehouse, embedded in
         # the same database file (shared connection + re-entrant lock).
         self.results = ExperimentStore(
             self.path, conn=self._conn, lock=self._lock
         )
+
+    def _migrate_columns_locked(self) -> None:
+        for table, column, decl in _COLUMN_MIGRATIONS:
+            present = {
+                row["name"]
+                for row in self._conn.execute(f"PRAGMA table_info({table})")
+            }
+            if column not in present:
+                self._conn.execute(
+                    f"ALTER TABLE {table} ADD COLUMN {column} {decl}"
+                )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -146,10 +184,13 @@ class JobStore:
         """Submit a spec; returns the (possibly pre-existing) record.
 
         * unknown spec — inserted as ``queued``;
-        * ``done`` — returned as-is (dedupe hit; nothing re-executes);
+        * ``done`` with an intact payload — returned as-is (dedupe hit);
+        * ``done`` whose payload is missing or corrupt — **self-healed**:
+          re-queued so the deterministic workload regenerates the bytes;
         * ``failed`` — re-queued with the error cleared;
         * ``queued``/``running`` — returned as-is (attach to in-flight job).
         """
+        INJECTOR.fire("jobstore.enqueue", run_id=spec.run_id)
         with self._lock:
             existing = self._fetch_locked(spec.run_id)
             if existing is None:
@@ -158,51 +199,151 @@ class JobStore:
                     " VALUES (?, ?, ?, ?)",
                     (spec.run_id, json.dumps(spec.to_dict()), QUEUED, tick),
                 )
-                self._conn.commit()
-                return JobRecord(spec.run_id, spec, QUEUED, submitted_tick=tick)
-            if existing.status == FAILED:
-                self._conn.execute(
-                    "UPDATE jobs SET status=?, error=NULL, device=NULL,"
-                    " defers=0, started_tick=NULL, finished_tick=NULL,"
-                    " submitted_tick=? WHERE run_id=?",
-                    (QUEUED, tick, spec.run_id),
+                self.results.journal_append(
+                    "enqueue", spec.run_id, tick=tick
                 )
                 self._conn.commit()
+                return JobRecord(spec.run_id, spec, QUEUED, submitted_tick=tick)
+            if existing.status == DONE and not self._payload_available_locked(
+                spec.run_id
+            ):
+                self._requeue_locked(
+                    spec.run_id, tick, event="heal", attempts=existing.attempts
+                )
+                return self._fetch_locked(spec.run_id)
+            if existing.status == FAILED:
+                self._requeue_locked(
+                    spec.run_id, tick, event="requeue", attempts=existing.attempts
+                )
                 return self._fetch_locked(spec.run_id)
             return existing
 
+    def _payload_available_locked(self, run_id: str) -> bool:
+        """Whether a ``done`` job's payload can actually be served.
+
+        Checks the embedded store (which drops hash-mismatched blobs as
+        misses) and falls back to the legacy inline column; a ``done``
+        row failing both is unservable and should self-heal.
+        """
+        if self.results.get(run_id) is not None:
+            return True
+        row = self._conn.execute(
+            "SELECT result FROM jobs WHERE run_id=?", (run_id,)
+        ).fetchone()
+        return row is not None and row["result"] is not None
+
+    def _requeue_locked(
+        self, run_id: str, tick: int, event: str, attempts: int
+    ) -> None:
+        self._conn.execute(
+            "UPDATE jobs SET status=?, error=NULL, device=NULL,"
+            " defers=0, started_tick=NULL, finished_tick=NULL,"
+            " submitted_tick=? WHERE run_id=?",
+            (QUEUED, tick, run_id),
+        )
+        self.results.journal_append(
+            event, run_id, attempt=attempts, tick=tick
+        )
+        self._conn.commit()
+
     def mark_running(self, run_id: str, device: str, tick: int) -> None:
+        INJECTOR.fire("jobstore.mark_running", run_id=run_id)
         self._transition(
             run_id,
             RUNNING,
             allowed=(QUEUED, RUNNING),
             extra="device=?, started_tick=?",
             params=(device, tick),
+            journal=("running", device, tick),
         )
 
     def mark_done(self, run_id: str, result: RunResult, tick: int) -> None:
+        """Persist a result and flip the row to ``done`` — idempotently.
+
+        The payload is appended to the experiment store *first*, the
+        status transition commits second: a crash between the two leaves
+        a ``running`` row whose resumed re-execution dedupes against the
+        already-stored payload, so the final bytes are identical either
+        way. Calling this on an already-``done`` row is a no-op, which is
+        what makes a resumed drain safe against straggling workers.
+        """
+        INJECTOR.fire("jobstore.mark_done", run_id=run_id)
         with self._lock:
             row = self._conn.execute(
-                "SELECT device FROM jobs WHERE run_id=?", (run_id,)
+                "SELECT status, device FROM jobs WHERE run_id=?", (run_id,)
             ).fetchone()
-            device = row["device"] if row is not None else None
+            if row is None:
+                raise KeyError(f"unknown job {run_id!r}")
+            if row["status"] == DONE:
+                return
+            device = row["device"]
+            self.results.append(result, device=device, source="fleet")
+            # Crash window the chaos suite drives: payload persisted,
+            # status not yet committed.
+            INJECTOR.fire("jobstore.mark_done.commit", run_id=run_id)
             self._transition(
                 run_id,
                 DONE,
-                allowed=(RUNNING, QUEUED),
-                extra="result=NULL, finished_tick=?",
+                allowed=(RUNNING, QUEUED, FAILED),
+                extra="result=NULL, error=NULL, finished_tick=?",
                 params=(tick,),
+                journal=("done", device, tick),
             )
-            self.results.append(result, device=device, source="fleet")
 
     def mark_failed(self, run_id: str, error: str, tick: int) -> None:
-        self._transition(
-            run_id,
-            FAILED,
-            allowed=(RUNNING, QUEUED),
-            extra="error=?, finished_tick=?",
-            params=(str(error)[:2000], tick),
-        )
+        """Flip a job to ``failed`` (idempotent on already-failed rows)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT status, device FROM jobs WHERE run_id=?", (run_id,)
+            ).fetchone()
+            if row is None:
+                raise KeyError(f"unknown job {run_id!r}")
+            if row["status"] in (DONE, FAILED):
+                return
+            self._transition(
+                run_id,
+                FAILED,
+                allowed=(RUNNING, QUEUED),
+                extra="error=?, finished_tick=?",
+                params=(str(error)[:2000], tick),
+                journal=("failed", row["device"], tick, str(error)[:200]),
+            )
+
+    def record_retry(self, run_id: str, detail: str, tick: int) -> int:
+        """Retry lifecycle: put a running job back in the queue.
+
+        Bumps ``attempts``, clears the device claim, and journals the
+        retry; returns the new attempt count. The job re-enters the
+        dispatch loop and backs off on the fleet clock (the service owns
+        the backoff — the store only records the lifecycle).
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT status, attempts, device FROM jobs WHERE run_id=?",
+                (run_id,),
+            ).fetchone()
+            if row is None:
+                raise KeyError(f"unknown job {run_id!r}")
+            if row["status"] not in (RUNNING, QUEUED):
+                raise ValueError(
+                    f"job {run_id}: cannot retry from {row['status']}"
+                )
+            attempts = row["attempts"] + 1
+            self._conn.execute(
+                "UPDATE jobs SET status=?, attempts=?, device=NULL,"
+                " started_tick=NULL, error=? WHERE run_id=?",
+                (QUEUED, attempts, str(detail)[:2000], run_id),
+            )
+            self.results.journal_append(
+                "retry",
+                run_id,
+                device=row["device"],
+                attempt=attempts,
+                detail=str(detail)[:200],
+                tick=tick,
+            )
+            self._conn.commit()
+            return attempts
 
     def record_defer(self, run_id: str, count: int = 1) -> None:
         """Count ``count`` deferrals against a job (job stays queued).
@@ -221,7 +362,8 @@ class JobStore:
             self._conn.commit()
 
     def _transition(
-        self, run_id: str, status: str, allowed, extra: str, params
+        self, run_id: str, status: str, allowed, extra: str, params,
+        journal=None,
     ) -> None:
         with self._lock:
             row = self._conn.execute(
@@ -237,18 +379,36 @@ class JobStore:
                 f"UPDATE jobs SET status=?, {extra} WHERE run_id=?",
                 (status, *params, run_id),
             )
+            if journal is not None:
+                event, device, tick = journal[0], journal[1], journal[2]
+                detail = journal[3] if len(journal) > 3 else ""
+                self.results.journal_append(
+                    event, run_id, device=device, detail=detail, tick=tick
+                )
             self._conn.commit()
 
     def requeue_running(self) -> int:
         """Crash recovery: put any ``running`` jobs back in the queue."""
         with self._lock:
-            cursor = self._conn.execute(
+            stranded = [
+                row["run_id"]
+                for row in self._conn.execute(
+                    "SELECT run_id FROM jobs WHERE status=?"
+                    " ORDER BY run_id",
+                    (RUNNING,),
+                )
+            ]
+            if not stranded:
+                return 0
+            self._conn.execute(
                 "UPDATE jobs SET status=?, device=NULL, started_tick=NULL"
                 " WHERE status=?",
                 (QUEUED, RUNNING),
             )
+            for run_id in stranded:
+                self.results.journal_append("requeue", run_id)
             self._conn.commit()
-            return cursor.rowcount
+            return len(stranded)
 
     # -- queries ------------------------------------------------------------
 
@@ -342,14 +502,16 @@ class JobStore:
                 self._conn.execute(
                     "INSERT INTO telemetry"
                     " (device, scheduled, completed, failed, deferred,"
-                    "  cache_hits)"
-                    " VALUES (?, ?, ?, ?, ?, ?)"
+                    "  cache_hits, retries, quarantines)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
                     " ON CONFLICT(device) DO UPDATE SET"
                     "  scheduled = scheduled + excluded.scheduled,"
                     "  completed = completed + excluded.completed,"
                     "  failed = failed + excluded.failed,"
                     "  deferred = deferred + excluded.deferred,"
-                    "  cache_hits = cache_hits + excluded.cache_hits",
+                    "  cache_hits = cache_hits + excluded.cache_hits,"
+                    "  retries = retries + excluded.retries,"
+                    "  quarantines = quarantines + excluded.quarantines",
                     (
                         device,
                         counters.get("scheduled", 0),
@@ -357,6 +519,8 @@ class JobStore:
                         counters.get("failed", 0),
                         counters.get("deferred", 0),
                         counters.get("cache_hits", 0),
+                        counters.get("retries", 0),
+                        counters.get("quarantines", 0),
                     ),
                 )
             ticks = int(self._meta_locked("ticks", "0"))
@@ -383,6 +547,8 @@ class JobStore:
                     "failed": row["failed"],
                     "deferred": row["deferred"],
                     "cache_hits": row["cache_hits"],
+                    "retries": row["retries"],
+                    "quarantines": row["quarantines"],
                 }
                 for row in rows
             },
@@ -403,6 +569,7 @@ def _record_from_row(row: sqlite3.Row) -> JobRecord:
         status=row["status"],
         device=row["device"],
         defers=row["defers"],
+        attempts=row["attempts"],
         error=row["error"],
         submitted_tick=row["submitted_tick"],
         started_tick=row["started_tick"],

@@ -31,7 +31,15 @@ from repro.obs import METRICS, MetricsRegistry
 FLEET_WIDE = "(fleet)"
 
 #: Counter attributes, in snapshot order.
-_COUNTER_ATTRS = ("scheduled", "completed", "failed", "deferred", "cache_hits")
+_COUNTER_ATTRS = (
+    "scheduled",
+    "completed",
+    "failed",
+    "deferred",
+    "cache_hits",
+    "retries",
+    "quarantines",
+)
 
 
 class DeviceCounters:
@@ -75,6 +83,14 @@ class DeviceCounters:
     def cache_hits(self) -> int:
         return self._counter("cache_hits").value
 
+    @property
+    def retries(self) -> int:
+        return self._counter("retries").value
+
+    @property
+    def quarantines(self) -> int:
+        return self._counter("quarantines").value
+
     def to_dict(self) -> Dict[str, int]:
         return {attr: self._counter(attr).value for attr in _COUNTER_ATTRS}
 
@@ -85,6 +101,7 @@ class TelemetryEvent:
 
     tick: int
     kind: str  # scheduled | completed | failed | deferred | cache-hit
+    #       | retried | quarantined
     device: str
     run_id: str
     detail: str = ""
@@ -108,6 +125,8 @@ class FleetTelemetry:
         "failed": "failed",
         "deferred": "deferred",
         "cache-hit": "cache_hits",
+        "retried": "retries",
+        "quarantined": "quarantines",
     }
 
     def __init__(self, max_events: int = 4096):
@@ -160,6 +179,16 @@ class FleetTelemetry:
 
     def record_cache_hit(self, run_id: str, tick: int) -> None:
         self._record(tick, "cache-hit", FLEET_WIDE, run_id)
+
+    def record_retried(
+        self, device: str, run_id: str, tick: int, detail: str = ""
+    ) -> None:
+        self._record(tick, "retried", device, run_id, detail)
+
+    def record_quarantined(
+        self, device: str, tick: int, detail: str = ""
+    ) -> None:
+        self._record(tick, "quarantined", device, "", detail)
 
     # -- reading ------------------------------------------------------------
 

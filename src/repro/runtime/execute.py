@@ -38,6 +38,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.experiments.schemes import build_vqe
+from repro.faults.inject import INJECTOR
 from repro.noise.noise_model import NoiseModel
 from repro.obs import TRACER, Stopwatch
 from repro.runtime.results import RunResult
@@ -78,6 +79,9 @@ def warm_plan_cache(spec: RunSpec):
 
 def execute_run(spec: RunSpec) -> RunResult:
     """Execute one spec to completion (synchronously, in this process)."""
+    # Chaos boundary: the per-run fault site every worker/executor passes
+    # through (a no-op unless a fault plan is installed).
+    INJECTOR.fire("execute.run", run_id=spec.run_id)
     with TRACER.span(
         "run.execute", category="execute",
         app=spec.app_name, scheme=spec.scheme, seed=spec.seed,

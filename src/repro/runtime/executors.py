@@ -34,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import List, Optional, Protocol, Sequence, Union, runtime_checkable
 
+from repro.faults.retry import DEFAULT_RETRYABLE, call_with_retry
 from repro.obs import METRICS, TRACER
 from repro.runtime.execute import execute_run
 from repro.runtime.results import PlanResult, RunResult
@@ -155,7 +156,16 @@ class CachedExecutor(BaseExecutor):
         return self.cache_dir / f"{spec.run_id}.json"
 
     def _load(self, spec: RunSpec) -> Optional[RunResult]:
-        cached = self.store.get(spec.run_id)
+        try:
+            # Store reads retry transient I/O failures (same policy shape
+            # the fleet workers use), then degrade to a miss: the inner
+            # executor re-derives bit-identical bytes from the spec.
+            cached = call_with_retry(
+                lambda: self.store.get(spec.run_id), label=spec.run_id
+            )
+        except DEFAULT_RETRYABLE:
+            METRICS.counter("cache.store.faults").inc()
+            cached = None
         if cached is None:
             cached = self._load_legacy(spec)
             if cached is not None:

@@ -16,9 +16,15 @@ Version history:
   materialized aggregates), and the ``matviews`` / ``matview_watermarks``
   tables hold per-cell improvement ratios plus the high-water mark of the
   last materialization.
-* **v3** (current) — adds the ``traces`` table: ``repro.obs``
+* **v3** — adds the ``traces`` table: ``repro.obs``
   trace/metric summaries persisted next to the results they profile,
   payloads content-addressed through the same ``blobs`` table.
+* **v4** (current) — adds the ``journal`` table: a WAL-style,
+  append-only record of job-lifecycle events (enqueue/running/retry/
+  done/failed/…) written by the fleet's ``JobStore`` inside the same
+  transactions as the transitions they describe. The journal is what
+  lets ``python -m repro.fleet drain --resume`` reconstruct and finish
+  a killed sweep.
 
 Migrations move payload text **verbatim** — a v1 store migrated to v2
 serves bit-identical payloads (asserted in
@@ -32,7 +38,7 @@ import sqlite3
 from typing import Callable, Dict
 
 #: Current on-disk schema version.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: The v1 layout, kept for migration tests and ``create_v1_store``.
 V1_SCHEMA = """
@@ -114,8 +120,26 @@ CREATE TABLE IF NOT EXISTS traces (
 );
 """
 
-#: The current (v3) layout.
+#: The v3 layout (kept: the v3->v4 step builds on top).
 V3_SCHEMA = V2_SCHEMA + TRACES_SCHEMA
+
+#: v4 additions: the WAL-style execution journal (append-only; ``seq``
+#: preserves event order across service lifetimes).
+JOURNAL_SCHEMA = """
+CREATE TABLE IF NOT EXISTS journal (
+    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
+    tick    INTEGER NOT NULL DEFAULT 0,
+    event   TEXT NOT NULL,
+    run_id  TEXT NOT NULL,
+    device  TEXT,
+    attempt INTEGER NOT NULL DEFAULT 0,
+    detail  TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS journal_run ON journal (run_id, seq);
+"""
+
+#: The current (v4) layout.
+V4_SCHEMA = V3_SCHEMA + JOURNAL_SCHEMA
 
 
 class SchemaError(RuntimeError):
@@ -185,10 +209,16 @@ def _migrate_v2_to_v3(conn: sqlite3.Connection) -> None:
     conn.executescript(TRACES_SCHEMA)
 
 
+def _migrate_v3_to_v4(conn: sqlite3.Connection) -> None:
+    """Additive: the ``journal`` table only — run rows do not move."""
+    conn.executescript(JOURNAL_SCHEMA)
+
+
 #: Forward migrations: from-version -> migration function.
 MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
     1: _migrate_v1_to_v2,
     2: _migrate_v2_to_v3,
+    3: _migrate_v3_to_v4,
 }
 
 
@@ -197,7 +227,7 @@ def ensure_schema(conn: sqlite3.Connection) -> int:
     version (``SCHEMA_VERSION`` when nothing had to move)."""
     version = _get_version(conn)
     if version == 0:
-        conn.executescript(V3_SCHEMA)
+        conn.executescript(V4_SCHEMA)
         _set_version(conn, SCHEMA_VERSION)
         conn.commit()
         return SCHEMA_VERSION

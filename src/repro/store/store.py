@@ -31,6 +31,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.faults.inject import INJECTOR
 from repro.obs import METRICS, TRACER
 from repro.runtime.results import RunResult
 from repro.runtime.spec import RunSpec
@@ -122,9 +123,14 @@ class ExperimentStore:
         address is *healed* — replaced by the fresh payload — rather than
         shadowing the good result behind a corrupt one.
         """
+        INJECTOR.fire("store.blob.write", run_id=run.run_id)
         spec_text = canonical_json(run.spec.to_dict())
         payload = canonical_json(run.result.to_dict())
         digest = payload_hash(payload)
+        # Corruption is injected *after* the content address is computed,
+        # so the stored bytes mismatch their hash and every read-side
+        # integrity check must catch it.
+        payload = INJECTOR.corrupt("store.blob.write", payload, run_id=run.run_id)
         METRICS.counter("store.appends").inc()
         with TRACER.span(
             "store.append", category="store", run_id=run.run_id
@@ -249,6 +255,53 @@ class ExperimentStore:
             out.append(summary)
         return out
 
+    def journal_append(
+        self,
+        event: str,
+        run_id: str,
+        *,
+        device: Optional[str] = None,
+        attempt: int = 0,
+        detail: str = "",
+        tick: int = 0,
+    ) -> int:
+        """Append one WAL-style execution-journal event; returns its seq.
+
+        The journal is append-only and ordered by ``seq``, so replaying
+        it reconstructs the exact lifecycle of a sweep — including one
+        that died mid-drain. The fleet's ``JobStore`` writes an event in
+        the same transaction as every job transition.
+        """
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO journal (tick, event, run_id, device, attempt,"
+                " detail) VALUES (?, ?, ?, ?, ?, ?)",
+                (int(tick), event, run_id, device, int(attempt), detail),
+            )
+            self._conn.commit()
+        METRICS.counter("store.journal_appends").inc()
+        return int(cursor.lastrowid)
+
+    def journal_entries(
+        self, run_id: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Journal events in append order (optionally for one run)."""
+        sql = (
+            "SELECT seq, tick, event, run_id, device, attempt, detail"
+            " FROM journal"
+        )
+        params: List[Any] = []
+        if run_id is not None:
+            sql += " WHERE run_id = ?"
+            params.append(run_id)
+        sql += " ORDER BY seq"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return [dict(row) for row in rows]
+
     def _put_blob(self, digest: str, payload: str) -> None:
         self._conn.execute(
             "INSERT INTO blobs (hash, data, size) VALUES (?, ?, ?)"
@@ -296,6 +349,7 @@ class ExperimentStore:
         (they read as cache misses upstream, never as wrong results).
         """
         query = query or RunQuery()
+        INJECTOR.fire("store.blob.read")
         where, params = query.where()
         METRICS.counter("store.queries").inc()
         with TRACER.span("store.query_runs", category="store"), self._lock:
@@ -309,6 +363,12 @@ class ExperimentStore:
         out: List[StoredRun] = []
         for row in rows:
             payload = row["payload"]
+            if payload is not None:
+                # A corrupt read mangles the bytes *before* the integrity
+                # check, so it degrades to a miss, never a wrong result.
+                payload = INJECTOR.corrupt(
+                    "store.blob.read", payload, run_id=row["run_id"]
+                )
             if payload is None or payload_hash(payload) != row["payload_hash"]:
                 continue
             out.append(
@@ -649,6 +709,9 @@ class ExperimentStore:
             traces = self._conn.execute(
                 "SELECT COUNT(*) FROM traces"
             ).fetchone()[0]
+            journal = self._conn.execute(
+                "SELECT COUNT(*) FROM journal"
+            ).fetchone()[0]
             blobs = self._conn.execute(
                 "SELECT COUNT(*), COALESCE(SUM(size), 0) FROM blobs"
             ).fetchone()
@@ -692,6 +755,7 @@ class ExperimentStore:
             "schema_version": SCHEMA_VERSION,
             "runs": int(runs),
             "traces": int(traces),
+            "journal": int(journal),
             "blobs": int(blobs[0]),
             "payload_bytes": int(blobs[1]),
             "apps": apps,

@@ -452,6 +452,115 @@ def test_unrelated_time_attributes_not_flagged():
     assert codes(report) == []
 
 
+# -- RPR107: swallowed exceptions ----------------------------------------------
+
+
+def test_broad_except_pass_flagged():
+    report = lint(
+        """
+        def load():
+            try:
+                return open("x").read()
+            except Exception:
+                pass
+        """
+    )
+    assert codes(report) == ["RPR107"]
+
+
+def test_bare_except_flagged():
+    report = lint(
+        """
+        def load():
+            try:
+                return 1
+            except:
+                return None
+        """
+    )
+    assert codes(report) == ["RPR107"]
+
+
+def test_broad_tuple_except_flagged():
+    report = lint(
+        """
+        def load():
+            try:
+                return 1
+            except (ValueError, Exception):
+                return None
+        """
+    )
+    assert codes(report) == ["RPR107"]
+
+
+def test_narrow_except_not_flagged():
+    report = lint(
+        """
+        def load():
+            try:
+                return 1
+            except (ValueError, KeyError):
+                return None
+        """
+    )
+    assert codes(report) == []
+
+
+def test_reraise_not_flagged():
+    report = lint(
+        """
+        def load():
+            try:
+                return 1
+            except Exception as exc:
+                raise RuntimeError("wrapped") from exc
+        """
+    )
+    assert codes(report) == []
+
+
+def test_failure_sink_call_not_flagged():
+    report = lint(
+        """
+        def run(store, job, tick):
+            try:
+                return job()
+            except Exception as exc:
+                store.mark_failed(job.run_id, str(exc), tick)
+        """
+    )
+    assert codes(report) == []
+
+
+def test_record_retry_sink_not_flagged():
+    report = lint(
+        """
+        def run(store, job, tick):
+            try:
+                return job()
+            except Exception as exc:
+                store.record_retry(job.run_id, str(exc), tick)
+        """
+    )
+    assert codes(report) == []
+
+
+def test_swallow_suppression_with_reason():
+    report = lint(
+        """
+        def warm():
+            try:
+                compile_it()
+            # repro: allow-swallow — warm-up is best effort
+            except Exception:
+                pass
+        """
+    )
+    assert codes(report) == []
+    assert report.suppressed == 1
+
+
 # -- path classification and whole-tree runs -----------------------------------
 
 
@@ -477,10 +586,11 @@ def test_parse_error_reported_not_raised():
 
 def test_src_tree_lints_clean():
     """The acceptance gate: zero errors over src/, with exactly the
-    sanctioned suppressions — one in utils/rng.py plus the two
-    deprecation shims in runtime/results.py that still write result
-    JSON directly."""
+    sanctioned suppressions — one in utils/rng.py, the two deprecation
+    shims in runtime/results.py that still write result JSON directly,
+    and the two deliberate swallows in fleet/service.py (best-effort
+    plan-cache warm-up; mark_failed on an already-down store)."""
     report = lint_paths(["src"])
     errors = [d for d in report if d.severity >= Severity.ERROR]
     assert errors == [], "\n".join(d.render() for d in errors)
-    assert report.suppressed == 3
+    assert report.suppressed == 5

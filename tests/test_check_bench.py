@@ -113,6 +113,41 @@ def test_compile_once_key_optional_for_old_baselines(tmp_path):
     assert _run(tmp_path, new_base, _payload(BASE)) == 1
 
 
+def _with_retry_overhead(payload, overhead):
+    payload = json.loads(json.dumps(payload))  # deep copy
+    payload["derived"][check_bench.RETRY_OVERHEAD_KEY] = overhead
+    return payload
+
+
+def test_retry_overhead_ceiling_gates_when_present(tmp_path, capsys):
+    base = _with_retry_overhead(_payload(BASE), 2.0)
+    good = _with_retry_overhead(_payload(BASE), 4.0)
+    bad = _with_retry_overhead(_payload(BASE), 50.0)
+    assert _run(tmp_path, base, good) == 0
+    assert _run(tmp_path, base, bad) == 1
+    assert "above ceiling" in capsys.readouterr().out
+
+
+def test_retry_overhead_first_appearance_tolerant(tmp_path):
+    # A baseline predating the retry benchmark: the ceiling applies to
+    # the current file only, and absence on both sides never gates.
+    old_base = _payload(BASE)
+    assert _run(tmp_path, old_base, _with_retry_overhead(_payload(BASE), 3.0)) == 0
+    assert _run(tmp_path, old_base, _payload(BASE)) == 0
+    # Once the baseline carries the family, dropping it fails...
+    new_base = _with_retry_overhead(_payload(BASE), 3.0)
+    assert _run(tmp_path, new_base, _payload(BASE)) == 1
+    # ...unless the run is an explicit subset.
+    assert _run(tmp_path, new_base, _payload(BASE), "--subset") == 0
+
+
+def test_max_retry_overhead_flag(tmp_path):
+    base = _with_retry_overhead(_payload(BASE), 2.0)
+    current = _with_retry_overhead(_payload(BASE), 9.0)
+    assert _run(tmp_path, base, current) == 1  # default ceiling 8.0
+    assert _run(tmp_path, base, current, "--max-retry-overhead", "12") == 0
+
+
 @pytest.mark.parametrize("slack", ["0.25", "5.0"])
 def test_max_regression_flag(tmp_path, slack):
     current = dict(BASE, a=_bench(3.0, "ref"))  # +50% normalized

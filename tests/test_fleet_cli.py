@@ -105,7 +105,8 @@ def test_stats_json_serves_rollup(db, capsys):
     assert payload["ticks"] > 0 and payload["throughput"] > 0
     for counters in payload["devices"].values():
         assert set(counters) == {
-            "scheduled", "completed", "failed", "deferred", "cache_hits"
+            "scheduled", "completed", "failed", "deferred", "cache_hits",
+            "retries", "quarantines",
         }
 
 

@@ -65,6 +65,7 @@ COMPILE_SPEEDUP_KEY = "compile_once_speedup_vs_recompile"
 NOISY_SPEEDUP_KEY = "noisy_engine_speedup_8q"
 KERNEL_SPEEDUP_KEY = "kernel_speedup_16q"
 KERNEL_20Q_SPEEDUP_KEY = "kernel_speedup_20q"
+RETRY_OVERHEAD_KEY = "retry_overhead_fleet"
 
 
 def load(path: Path) -> dict:
@@ -197,6 +198,16 @@ def main(argv=None) -> int:
         help="floor for the 20q pair-kernel vs. tensordot-reference speedup",
     )
     parser.add_argument(
+        "--max-retry-overhead",
+        type=float,
+        default=8.0,
+        help=(
+            "ceiling for the faulty-drain vs. clean-drain overhead ratio "
+            "(two injected retries per job must not multiply drain cost "
+            "beyond this factor)"
+        ),
+    )
+    parser.add_argument(
         "--max-phase-drift",
         type=float,
         default=0.30,
@@ -257,6 +268,25 @@ def main(argv=None) -> int:
         if speedup < floor:
             failures.append(
                 f"{label} speedup {speedup:.2f}x below floor {floor:.2f}x"
+            )
+
+    # The retry-overhead family gates a *ceiling*, not a floor; like the
+    # speedup families it is first-appearance tolerant — a baseline
+    # predating it just means the ceiling starts applying with this run.
+    overhead = current.get("derived", {}).get(RETRY_OVERHEAD_KEY)
+    if overhead is None:
+        if RETRY_OVERHEAD_KEY in baseline.get("derived", {}) and not args.subset:
+            failures.append(f"current file lacks derived.{RETRY_OVERHEAD_KEY}")
+    else:
+        status = "ok" if overhead <= args.max_retry_overhead else "FAIL"
+        print(
+            f"{RETRY_OVERHEAD_KEY}: {overhead:.2f}x "
+            f"(ceiling {args.max_retry_overhead:.2f}x) [{status}]"
+        )
+        if overhead > args.max_retry_overhead:
+            failures.append(
+                f"retry overhead {overhead:.2f}x above ceiling "
+                f"{args.max_retry_overhead:.2f}x"
             )
 
     print("\nnormalized vs each benchmark's reference (current / baseline):")
